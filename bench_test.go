@@ -1,0 +1,530 @@
+package montecimone_test
+
+// One benchmark per table and figure of the paper's evaluation section
+// (the experiment index is in DESIGN.md), plus the design-choice
+// ablations. Each benchmark regenerates the artefact and reports the
+// headline quantity as a custom metric so `go test -bench=.` doubles as
+// the reproduction harness. Run with -v to see the regenerated rows.
+
+import (
+	"testing"
+
+	"montecimone/internal/core"
+	"montecimone/internal/hpl"
+	"montecimone/internal/mpi"
+	"montecimone/internal/netsim"
+	"montecimone/internal/sched"
+	"montecimone/internal/sim"
+	"montecimone/internal/soc"
+	"montecimone/internal/stream"
+	"montecimone/internal/thermal"
+)
+
+// BenchmarkTableI_SpackStack concretises and installs the Table I
+// user-facing software stack for linux-sifive-u74mc.
+func BenchmarkTableI_SpackStack(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		out, err := core.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(out)
+	}
+	b.ReportMetric(float64(rows), "packages")
+}
+
+// BenchmarkTableII_ExamonTopics validates the ExaMon topic/payload formats.
+func BenchmarkTableII_ExamonTopics(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(core.TableII())
+	}
+	b.ReportMetric(float64(rows), "plugins")
+}
+
+// BenchmarkTableIII_StatsPub boots a monitored node and collects the 28
+// stats_pub metrics.
+func BenchmarkTableIII_StatsPub(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		out, err := core.TableIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(out)
+	}
+	b.ReportMetric(float64(rows), "metrics")
+}
+
+// BenchmarkTableIV_HwmonSensors reads the three temperature sensors
+// through their sysfs paths.
+func BenchmarkTableIV_HwmonSensors(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		out, err := core.TableIV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(out)
+	}
+	b.ReportMetric(float64(rows), "sensors")
+}
+
+// BenchmarkTableV_Stream regenerates the STREAM table (both working sets)
+// and reports the DDR copy bandwidth.
+func BenchmarkTableV_Stream(b *testing.B) {
+	var copyMBps float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := core.TableV(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		copyMBps = tbl.DDR[0].MeanMBps
+	}
+	b.ReportMetric(copyMBps, "copy-MB/s")
+}
+
+// BenchmarkTableVI_PowerRails regenerates the nine-rail power table and
+// reports the HPL column total (paper: 5935 mW).
+func BenchmarkTableVI_PowerRails(b *testing.B) {
+	var hplTotal float64
+	for i := 0; i < b.N; i++ {
+		for _, col := range core.TableVI() {
+			if col.Workload == "HPL" {
+				hplTotal = col.TotalMilliwatts
+			}
+		}
+	}
+	b.ReportMetric(hplTotal, "HPL-mW")
+}
+
+// BenchmarkFig2_HPLScaling regenerates the strong-scaling series (ten
+// repetitions per node count) and reports the 8-node mean (paper: 12.65).
+func BenchmarkFig2_HPLScaling(b *testing.B) {
+	var eight float64
+	for i := 0; i < b.N; i++ {
+		points, err := core.Fig2(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eight = points[7].MeanGFlops
+		if i == 0 {
+			for _, p := range points {
+				b.Logf("nodes=%d grid=%dx%d %.2f +- %.2f GFLOP/s (%.0f +- %.0f s)",
+					p.Nodes, p.P, p.Q, p.MeanGFlops, p.StdGFlops, p.MeanSeconds, p.StdSeconds)
+			}
+		}
+	}
+	b.ReportMetric(eight, "GFLOPS-8node")
+}
+
+// BenchmarkFig3_PowerTraces regenerates the 8 s HPL power trace at 1 ms
+// windows and reports the core-rail mean (paper: 4097 mW).
+func BenchmarkFig3_PowerTraces(b *testing.B) {
+	var coreMean float64
+	for i := 0; i < b.N; i++ {
+		traces, err := core.Fig3("hpl", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coreMean = traces.Traces.Lookup("core").Mean()
+	}
+	b.ReportMetric(coreMean, "core-mW")
+}
+
+// BenchmarkFig4_BootTrace regenerates the 80 s boot trace and reports the
+// R2-minus-R1 clock-tree power (paper: 1577 mW).
+func BenchmarkFig4_BootTrace(b *testing.B) {
+	var clockTree float64
+	for i := 0; i < b.N; i++ {
+		bt, err := core.Fig4(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clockTree = bt.R2Mean - bt.R1Mean
+	}
+	b.ReportMetric(clockTree, "clocktree-mW")
+}
+
+// BenchmarkFig5_ExamonHeatmap runs a monitored multi-node HPL playback and
+// builds the three dashboard heatmaps.
+func BenchmarkFig5_ExamonHeatmap(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		hm, err := core.Fig5(8, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = hm.InstructionsPerSec.MaxValue()
+	}
+	b.ReportMetric(peak/1e9, "Ginstr/s-peak")
+}
+
+// BenchmarkFig6_ThermalRunaway replays the node-7 thermal hazard and the
+// airflow mitigation, reporting the post-fix hottest temperature
+// (paper: 39 degC).
+func BenchmarkFig6_ThermalRunaway(b *testing.B) {
+	var after float64
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Fig6(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		after = rep.PeakAfterMitigation
+		if i == 0 {
+			b.Logf("%s tripped at t=%.0f s; hottest %.1f degC before fix, %.1f degC after",
+				rep.TrippedNode, rep.TripAt, rep.PeakBeforeMitigation, rep.PeakAfterMitigation)
+		}
+	}
+	b.ReportMetric(after, "degC-after-fix")
+}
+
+// BenchmarkSec5A_HPLEfficiency regenerates the three-machine FPU
+// utilisation comparison and reports Monte Cimone's (paper: 46.5 %).
+func BenchmarkSec5A_HPLEfficiency(b *testing.B) {
+	var mc float64
+	for i := 0; i < b.N; i++ {
+		rows, err := core.HPLEfficiencyComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Machine == "Monte Cimone" {
+				mc = 100 * r.Efficiency
+			}
+			if i == 0 {
+				b.Logf("%s: %.2f%% (%.1f GFLOP/s)", r.Machine, 100*r.Efficiency, r.Attained)
+			}
+		}
+	}
+	b.ReportMetric(mc, "pct-of-peak")
+}
+
+// BenchmarkSec5A_StreamEfficiency regenerates the bandwidth-fraction
+// comparison and reports Monte Cimone's (paper: 15.5 %).
+func BenchmarkSec5A_StreamEfficiency(b *testing.B) {
+	var mc float64
+	for i := 0; i < b.N; i++ {
+		rows, err := core.StreamEfficiencyComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Machine == "Monte Cimone" {
+				mc = 100 * r.Efficiency
+			}
+		}
+	}
+	b.ReportMetric(mc, "pct-of-peak")
+}
+
+// BenchmarkSec5A_QELax regenerates the LAX result (paper: 1.44 GFLOP/s).
+func BenchmarkSec5A_QELax(b *testing.B) {
+	var gf float64
+	for i := 0; i < b.N; i++ {
+		rep, err := core.QELax(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gf = rep.MeanGFlops
+	}
+	b.ReportMetric(gf, "GFLOPS")
+}
+
+// BenchmarkSec3_InfinibandPing reproduces the HCA bring-up status: ping
+// works, RDMA does not.
+func BenchmarkSec3_InfinibandPing(b *testing.B) {
+	var rttUs float64
+	for i := 0; i < b.N; i++ {
+		rep, err := core.InfinibandStatus()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.RDMAWorking {
+			b.Fatal("RDMA unexpectedly working")
+		}
+		rttUs = rep.PingRTTSeconds * 1e6
+	}
+	b.ReportMetric(rttUs, "ping-us")
+}
+
+// --- Ablations (DESIGN.md section 4) ---
+
+// BenchmarkAblation_Interconnect compares the measured GbE fabric against
+// hypothetically working FDR InfiniBand for the 8-node HPL run.
+func BenchmarkAblation_Interconnect(b *testing.B) {
+	ib := netsim.InfinibandFDRWorking()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		gbe, err := hpl.Simulate(hpl.Config{N: core.PaperN, NB: core.PaperNB, Nodes: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fast, err := hpl.Simulate(hpl.Config{N: core.PaperN, NB: core.PaperNB, Nodes: 8, Link: &ib})
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = fast.GFlops / gbe.GFlops
+	}
+	b.ReportMetric(speedup, "IB/GbE")
+}
+
+// BenchmarkAblation_Prefetcher sweeps prefetcher utilisation on the
+// DDR-resident STREAM run (paper hypothesis (i) in Section V-A).
+func BenchmarkAblation_Prefetcher(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		base, err := stream.Run(stream.Config{WorkingSetBytes: stream.DDRWorkingSetBytes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuned, err := stream.Run(stream.Config{
+			WorkingSetBytes: stream.DDRWorkingSetBytes,
+			Opts:            soc.StreamOptions{PrefetchUtilisation: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = tuned[3].MeanMBps / base[3].MeanMBps // triad
+		if i == 0 {
+			for u := 0.0; u <= 1.0; u += 0.25 {
+				r, err := stream.Run(stream.Config{
+					WorkingSetBytes: stream.DDRWorkingSetBytes,
+					Opts:            soc.StreamOptions{PrefetchUtilisation: u},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Logf("prefetch utilisation %.2f: triad %.0f MB/s (%.1f%% of peak)",
+					u, r[3].MeanMBps, 100*r[3].EfficiencyOfPeak)
+			}
+		}
+	}
+	b.ReportMetric(gain, "triad-gain")
+}
+
+// BenchmarkAblation_HPLBlockSize sweeps NB around the paper's 192.
+func BenchmarkAblation_HPLBlockSize(b *testing.B) {
+	nbs := []int{32, 96, 192, 384, 768}
+	var best float64
+	for i := 0; i < b.N; i++ {
+		best = 0
+		for _, nb := range nbs {
+			r, err := hpl.Simulate(hpl.Config{N: 16384, NB: nb, Nodes: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.GFlops > best {
+				best = r.GFlops
+			}
+			if i == 0 {
+				b.Logf("NB=%d: %.2f GFLOP/s", nb, r.GFlops)
+			}
+		}
+	}
+	b.ReportMetric(best, "best-GFLOPS")
+}
+
+// BenchmarkAblation_Backfill compares campaign makespan with and without
+// EASY backfill on the production scheduler.
+func BenchmarkAblation_Backfill(b *testing.B) {
+	runCampaign := func(backfill bool) float64 {
+		engine := sim.NewEngine()
+		hosts := make([]string, 8)
+		for i := range hosts {
+			hosts[i] = string(rune('a' + i))
+		}
+		s, err := sched.New(engine, "p", hosts, sched.WithBackfill(backfill))
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs := []sched.JobSpec{
+			{Name: "wide", Nodes: 6, TimeLimit: 4000, Duration: 3600},
+			{Name: "huge", Nodes: 8, TimeLimit: 4000, Duration: 1800},
+			{Name: "s1", Nodes: 1, TimeLimit: 300, Duration: 240},
+			{Name: "s2", Nodes: 2, TimeLimit: 600, Duration: 500},
+			{Name: "s3", Nodes: 1, TimeLimit: 900, Duration: 850},
+		}
+		for _, spec := range specs {
+			if _, err := s.Submit(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := engine.Run(); err != nil {
+			b.Fatal(err)
+		}
+		return engine.Now()
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		with := runCampaign(true)
+		without := runCampaign(false)
+		ratio = without / with
+		if i == 0 {
+			b.Logf("makespan: backfill %.0f s, FIFO-only %.0f s", with, without)
+		}
+	}
+	b.ReportMetric(ratio, "fifo/backfill")
+}
+
+// BenchmarkAblation_CodeModel compares the medany cap against the
+// large-code-model workaround for the STREAM working set.
+func BenchmarkAblation_CodeModel(b *testing.B) {
+	var capGiB float64
+	for i := 0; i < b.N; i++ {
+		m := soc.FU740()
+		capped := m.MaxStreamArrayBytes(soc.StreamOptions{})
+		lifted := m.MaxStreamArrayBytes(soc.StreamOptions{LargeCodeModel: true})
+		if lifted <= capped {
+			b.Fatal("workaround did not lift the cap")
+		}
+		capGiB = float64(3*capped) / float64(soc.GiB)
+	}
+	b.ReportMetric(capGiB, "medany-cap-GiB")
+}
+
+// BenchmarkExtension_DTM runs node 7 (original enclosure) under the
+// thermal-capping DVFS governor — the paper's future-work dynamic thermal
+// management — and reports the average operating point that keeps it
+// alive.
+func BenchmarkExtension_DTM(b *testing.B) {
+	var meanScale float64
+	for i := 0; i < b.N; i++ {
+		rep, err := core.DTMStudy(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Survived {
+			b.Fatal("node 7 tripped despite the governor")
+		}
+		meanScale = rep.MeanScale
+		if i == 0 {
+			b.Logf("node 7 survives at %.1f degC, mean DVFS scale %.2f, %.0f s throttled",
+				rep.SteadyTempC, rep.MeanScale, rep.ThrottledSeconds)
+		}
+	}
+	b.ReportMetric(meanScale, "mean-scale")
+}
+
+// BenchmarkExtension_AnomalyDetection replays the thermal incident with
+// the ODA runaway detector watching and reports the warning lead time.
+func BenchmarkExtension_AnomalyDetection(b *testing.B) {
+	var lead float64
+	for i := 0; i < b.N; i++ {
+		rep, err := core.ThermalAnomalyScan(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.DetectedAt < 0 {
+			b.Fatal("runaway not detected")
+		}
+		lead = rep.LeadSeconds
+		if i == 0 {
+			b.Logf("mc07 runaway flagged at t=%.0f s, trip at t=%.0f s (%.0f s lead)",
+				rep.DetectedAt, rep.TripAt, rep.LeadSeconds)
+		}
+	}
+	b.ReportMetric(lead, "lead-s")
+}
+
+// BenchmarkExtension_EnergyToSolution reports the RISC-V node's HPL
+// energy efficiency derived from the Table VI power model and the run
+// model.
+func BenchmarkExtension_EnergyToSolution(b *testing.B) {
+	var gfw float64
+	for i := 0; i < b.N; i++ {
+		rep, err := core.EnergyToSolution()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gfw = rep.SingleNodeGFlopsPerWatt
+		if i == 0 {
+			b.Logf("single node: %.0f kJ, %.3f GFLOPS/W; full machine: %.0f kJ, %.3f GFLOPS/W",
+				rep.SingleNodeKJ, rep.SingleNodeGFlopsPerWatt,
+				rep.FullMachineKJ, rep.FullMachineGFlopsPerWatt)
+		}
+	}
+	b.ReportMetric(gfw, "GFLOPS/W")
+}
+
+// BenchmarkExtension_Accelerator projects the future-work PCIe RISC-V
+// vector accelerator onto a node's HPL run.
+func BenchmarkExtension_Accelerator(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rep, err := core.AcceleratorStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = rep.Speedup
+		if i == 0 {
+			b.Logf("%s: %.1f -> %.1f GFLOP/s (%.1fx, %s-bound), %.2f -> %.2f GFLOPS/W",
+				rep.Card, rep.HostGFlops, rep.AccelGFlops, rep.Speedup, rep.Bound,
+				rep.HostGFlopsPerWatt, rep.AccelGFlopsPerWatt)
+		}
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
+// BenchmarkExtension_MPIPingPong runs the OSU-style microbenchmark over
+// the simulated GbE fabric, validating the network model end to end
+// through the MPI stack.
+func BenchmarkExtension_MPIPingPong(b *testing.B) {
+	fabric, err := netsim.NewFabric(2, netsim.GigabitEthernet())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var latUs float64
+	for i := 0; i < b.N; i++ {
+		world, err := mpi.NewWorld(fabric, []int{0, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var res mpi.PingPongResult
+		err = world.Run(func(p *mpi.Proc) error {
+			r, err := mpi.PingPong(p, 1, 1000)
+			if err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				res = r
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		latUs = res.LatencySec * 1e6
+	}
+	b.ReportMetric(latUs, "oneway-us")
+}
+
+// BenchmarkAblation_Airflow sweeps the enclosure configurations: steady
+// HPL temperature of the worst slot, lid on (runaway) vs lid off.
+func BenchmarkAblation_Airflow(b *testing.B) {
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		on, err := thermal.NewModel(thermal.Enclosure{AmbientC: 25, LidOn: true}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		off, err := thermal.NewModel(thermal.Enclosure{AmbientC: 25, LidOn: false}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hot, _ := on.SteadyStateCPU(5.935)
+		cool, _ := off.SteadyStateCPU(5.935)
+		delta = hot - cool
+		if i == 0 {
+			m7on, err := thermal.NewModel(thermal.Enclosure{AmbientC: 25, LidOn: true}, 6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			t7, stable := m7on.SteadyStateCPU(5.935)
+			b.Logf("centre slot: %.1f degC lid-on vs %.1f degC lid-off; slot 7 lid-on: %.0f degC stable=%v",
+				hot, cool, t7, stable)
+		}
+	}
+	b.ReportMetric(delta, "degC-saved")
+}

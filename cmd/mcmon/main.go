@@ -1,0 +1,111 @@
+// Command mcmon runs the ExaMon monitoring stack against the simulated
+// cluster: it boots the machine with pmu_pub and stats_pub sampling, runs a
+// workload for a stretch of virtual time, then either prints a monitoring
+// summary (default) or serves the collected time-series database through
+// the RESTful HTTP API.
+//
+// Usage:
+//
+//	mcmon [-nodes N] [-workload hpl] [-duration 120] [-serve :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"montecimone/internal/core"
+	"montecimone/internal/examon"
+	"montecimone/internal/power"
+	"montecimone/internal/report"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "compute nodes")
+	workload := flag.String("workload", "hpl", "workload to monitor (hpl, stream.ddr, stream.l2, qe, idle)")
+	duration := flag.Float64("duration", 120, "virtual seconds to monitor")
+	serve := flag.String("serve", "", "serve the REST API on this address after the run (e.g. :8080)")
+	flag.Parse()
+	if err := run(os.Stdout, *nodes, *workload, *duration, *serve); err != nil {
+		fmt.Fprintln(os.Stderr, "mcmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, nodes int, workload string, duration float64, serve string) error {
+	s, err := core.NewSystem(core.Options{Nodes: nodes, HPMPatch: true})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if err := s.Boot(); err != nil {
+		return err
+	}
+	hosts := s.Cluster.Hostnames()
+	if workload != "idle" {
+		act, mem, err := activity(workload)
+		if err != nil {
+			return err
+		}
+		if err := s.Cluster.RunWorkloadOn(hosts, workload, act, mem); err != nil {
+			return err
+		}
+	}
+	start := s.Engine.Now()
+	if err := s.Advance(duration); err != nil {
+		return err
+	}
+	end := s.Engine.Now()
+
+	fmt.Fprintf(w, "monitored %d nodes for %.0f virtual seconds under %q\n", nodes, duration, workload)
+	fmt.Fprintf(w, "broker messages: %d; stored series: %d\n", s.Broker.Published(), s.DB.SeriesCount())
+
+	// Per-node instruction-rate summary from the pmu_pub data.
+	hm, err := examon.BuildHeatmap(s.DB, hosts, examon.HeatmapOptions{
+		Plugin: "pmu_pub", Metric: "instret", Rate: true, SumCores: true,
+		From: start, To: end, BinWidth: (end - start) / 48,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, report.Heatmap("instructions/s per node", hm))
+
+	temps, err := examon.BuildHeatmap(s.DB, hosts, examon.HeatmapOptions{
+		Plugin: "dstat_pub", Metric: "temperature.cpu_temp",
+		From: start, To: end, BinWidth: (end - start) / 48,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, report.Heatmap("cpu_temp per node", temps))
+	for i, nodeName := range temps.Nodes {
+		fmt.Fprintf(w, "  %-6s mean %.1f degC\n", nodeName, temps.RowMean(i))
+	}
+
+	if serve == "" {
+		return nil
+	}
+	srv, err := examon.NewRESTServer(s.DB)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "serving ExaMon REST API on %s (GET /api/v1/series, /api/v1/query)\n", serve)
+	return http.ListenAndServe(serve, srv)
+}
+
+func activity(name string) (power.Activity, float64, error) {
+	switch name {
+	case "hpl":
+		return power.ActivityHPL, 13.3e9, nil
+	case "stream.ddr":
+		return power.ActivityStreamDDR, 2.1e9, nil
+	case "stream.l2":
+		return power.ActivityStreamL2, 2.1e9, nil
+	case "qe":
+		return power.ActivityQE, 0.4e9, nil
+	default:
+		return power.Activity{}, 0, fmt.Errorf("unknown workload %q", name)
+	}
+}

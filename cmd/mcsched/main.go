@@ -1,0 +1,153 @@
+// Command mcsched demonstrates the SLURM-like batch scheduler on the
+// simulated cluster: it boots the machine, submits a mixed benchmark
+// campaign (HPL, STREAM, QE-LAX) and prints squeue/sinfo snapshots and the
+// final accounting, including the NODE_FAIL the node-7 thermal hazard
+// produces when the campaign runs with the original enclosure.
+//
+// Usage:
+//
+//	mcsched [-nodes N] [-mitigated] [-backfill=false]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"montecimone/internal/core"
+	"montecimone/internal/power"
+	"montecimone/internal/report"
+	"montecimone/internal/sched"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "compute nodes")
+	mitigated := flag.Bool("mitigated", false, "apply the airflow mitigation before the campaign")
+	flag.Parse()
+	if err := run(os.Stdout, *nodes, *mitigated); err != nil {
+		fmt.Fprintln(os.Stderr, "mcsched:", err)
+		os.Exit(1)
+	}
+}
+
+// campaignJob describes one submission of the demo campaign.
+type campaignJob struct {
+	name     string
+	workload string
+	nodes    int
+	limit    float64
+	duration float64
+}
+
+func run(w io.Writer, nodes int, mitigated bool) error {
+	s, err := core.NewSystem(core.Options{Nodes: nodes, NoMonitor: true})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if err := s.Boot(); err != nil {
+		return err
+	}
+	if mitigated {
+		if err := s.Cluster.ApplyAirflowMitigation(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "enclosure: lid removed, increased blade spacing (mitigated)")
+	} else {
+		fmt.Fprintln(w, "enclosure: original 1U lid-on build")
+	}
+
+	campaign := []campaignJob{
+		{"hpl-full", "hpl", nodes, 5400, 3700},
+		{"stream-ddr", "stream.ddr", 1, 600, 300},
+		{"stream-l2", "stream.l2", 1, 600, 300},
+		{"qe-lax", "qe", 1, 300, 38},
+		{"hpl-half", "hpl", (nodes + 1) / 2, 3600, 1900},
+	}
+	for _, cj := range campaign {
+		cj := cj
+		spec := sched.JobSpec{
+			Name: cj.name, User: "bench", Nodes: cj.nodes,
+			TimeLimit: cj.limit, Duration: cj.duration,
+			OnStart: func(_ *sched.Job, hosts []string) {
+				act, mem, err := workloadActivity(cj.workload)
+				if err == nil {
+					// Hosts come from the scheduler's partition, so the
+					// cluster resolves them; halted nodes cannot be
+					// allocated.
+					_ = s.Cluster.RunWorkloadOn(hosts, cj.workload, act, mem)
+				}
+			},
+			OnEnd: func(j *sched.Job, _ sched.JobState) {
+				s.Cluster.ClearWorkloadOn(j.Hosts())
+			},
+		}
+		if _, err := s.Scheduler.Submit(spec); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "\n== t=%.0f s: campaign submitted\n", s.Engine.Now())
+	printQueue(w, s.Scheduler)
+
+	for _, checkpoint := range []float64{600, 2400, 7200} {
+		if err := s.Engine.RunUntil(checkpoint); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n== t=%.0f s\n", s.Engine.Now())
+		printQueue(w, s.Scheduler)
+		printNodes(w, s.Scheduler)
+	}
+
+	// Drain whatever is left.
+	if err := s.Engine.RunUntil(30000); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n== t=%.0f s: final accounting (sacct)\n", s.Engine.Now())
+	acct := &report.Table{Headers: []string{"JobID", "Name", "State", "Nodes", "Start", "End"}}
+	for _, row := range s.Scheduler.Sacct() {
+		acct.AddRow(
+			fmt.Sprintf("%d", row.ID), row.Name, string(row.State),
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%.0f", row.Start), fmt.Sprintf("%.0f", row.End),
+		)
+	}
+	return acct.Write(w)
+}
+
+func workloadActivity(name string) (power.Activity, float64, error) {
+	switch name {
+	case "hpl":
+		return power.ActivityHPL, 13.3e9, nil
+	case "stream.ddr":
+		return power.ActivityStreamDDR, 2.1e9, nil
+	case "stream.l2":
+		return power.ActivityStreamL2, 2.1e9, nil
+	case "qe":
+		return power.ActivityQE, 0.4e9, nil
+	default:
+		return power.Activity{}, 0, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func printQueue(w io.Writer, s *sched.Scheduler) {
+	t := &report.Table{Headers: []string{"JobID", "Name", "State", "Nodes", "Hosts"}}
+	for _, row := range s.Squeue() {
+		t.AddRow(fmt.Sprintf("%d", row.ID), row.Name, string(row.State),
+			fmt.Sprintf("%d", row.Nodes), fmt.Sprintf("%v", row.Hosts))
+	}
+	if len(t.Rows) == 0 {
+		fmt.Fprintln(w, "squeue: empty")
+		return
+	}
+	_ = t.Write(w)
+}
+
+func printNodes(w io.Writer, s *sched.Scheduler) {
+	line := "sinfo:"
+	for _, row := range s.Sinfo() {
+		line += fmt.Sprintf(" %s=%s", row.Host, row.State)
+	}
+	fmt.Fprintln(w, line)
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCampaignOriginalEnclosure(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 8, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// With the lid on, the full-machine HPL job dies on the node-7 trip.
+	if !strings.Contains(out, "NODE_FAIL") {
+		t.Errorf("expected NODE_FAIL in:\n%s", out)
+	}
+	if !strings.Contains(out, "mc07=down") {
+		t.Errorf("expected mc07 down in sinfo:\n%s", out)
+	}
+	if !strings.Contains(out, "COMPLETED") {
+		t.Error("no job completed")
+	}
+}
+
+func TestCampaignMitigated(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 8, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "NODE_FAIL") {
+		t.Errorf("mitigated campaign still failed:\n%s", out)
+	}
+	if !strings.Contains(out, "hpl-full") {
+		t.Error("missing campaign jobs")
+	}
+}

@@ -1,0 +1,15 @@
+// Package montecimone is a full reproduction, in pure Go, of "Monte
+// Cimone: Paving the Road for the First Generation of RISC-V
+// High-Performance Computers" (Bartolini et al., SOCC 2022): an
+// eight-node SiFive Freedom U740 cluster with a production HPC stack
+// (SLURM-like scheduler, NFS, Spack-deployed toolchain, ExaMon
+// monitoring) characterised with HPL, STREAM and quantumESPRESSO-LAX.
+//
+// The paper is a measurement study of physical hardware, so this
+// repository substitutes every hardware element with a calibrated
+// simulation substrate (see DESIGN.md for the substitution table) and
+// regenerates every table and figure of the evaluation section
+// (EXPERIMENTS.md records paper-vs-measured values). The benchmark
+// harness in bench_test.go has one benchmark per table and figure plus
+// the design-choice ablations.
+package montecimone

@@ -1,0 +1,128 @@
+// Jobcampaign: run a production-style benchmark campaign through the full
+// stack — SLURM-like scheduling with EASY backfill, workloads modulating
+// node power/thermals, and the ExaMon pipeline (pmu_pub + stats_pub ->
+// MQTT broker -> time-series store) watching everything. Afterwards the
+// collected data is queried back through the store, the way the paper's
+// batch analyses use the RESTful API.
+//
+// Run with: go run ./examples/jobcampaign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"montecimone/internal/core"
+	"montecimone/internal/examon"
+	"montecimone/internal/power"
+	"montecimone/internal/report"
+	"montecimone/internal/sched"
+)
+
+// job describes one campaign entry.
+type job struct {
+	name     string
+	workload string
+	activity power.Activity
+	memBytes float64
+	nodes    int
+	limit    float64
+	duration float64
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	system, err := core.NewSystem(core.Options{Nodes: 8, HPMPatch: true})
+	if err != nil {
+		return err
+	}
+	defer system.Close()
+	if err := system.Boot(); err != nil {
+		return err
+	}
+	// Campaigns run on the fixed cluster; apply the thermal fix first so
+	// long HPL jobs survive (see examples/thermalrunaway for the
+	// original enclosure).
+	if err := system.Cluster.ApplyAirflowMitigation(); err != nil {
+		return err
+	}
+
+	campaign := []job{
+		{"hpl-8n", "hpl", power.ActivityHPL, 13.3e9, 8, 4200, 3700},
+		{"stream-ddr", "stream.ddr", power.ActivityStreamDDR, 2.1e9, 1, 900, 420},
+		{"stream-l2", "stream.l2", power.ActivityStreamL2, 2.1e9, 1, 900, 420},
+		{"qe-lax-1", "qe", power.ActivityQE, 0.4e9, 1, 300, 38},
+		{"qe-lax-2", "qe", power.ActivityQE, 0.4e9, 2, 300, 25},
+		{"hpl-4n", "hpl", power.ActivityHPL, 13.3e9, 4, 7200, 6400},
+	}
+	start := system.Engine.Now()
+	for _, cj := range campaign {
+		cj := cj
+		if _, err := system.Scheduler.Submit(sched.JobSpec{
+			Name: cj.name, User: "bench", Nodes: cj.nodes,
+			TimeLimit: cj.limit, Duration: cj.duration,
+			OnStart: func(_ *sched.Job, hosts []string) {
+				// Allocated hosts always resolve within the partition.
+				_ = system.Cluster.RunWorkloadOn(hosts, cj.workload, cj.activity, cj.memBytes)
+			},
+			OnEnd: func(j *sched.Job, _ sched.JobState) {
+				system.Cluster.ClearWorkloadOn(j.Hosts())
+			},
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Drain the campaign.
+	if err := system.Engine.RunUntil(start + 12000); err != nil {
+		return err
+	}
+	end := system.Engine.Now()
+
+	acct := &report.Table{Title: "campaign accounting (sacct)",
+		Headers: []string{"JobID", "Name", "State", "Nodes", "Start", "End"}}
+	for _, row := range system.Scheduler.Sacct() {
+		acct.AddRow(fmt.Sprintf("%d", row.ID), row.Name, string(row.State),
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%.0f", row.Start-start), fmt.Sprintf("%.0f", row.End-start))
+	}
+	if err := acct.Write(log.Writer()); err != nil {
+		return err
+	}
+
+	// Query the monitoring data back, Grafana-style.
+	fmt.Printf("\nExaMon collected %d series from %d messages\n",
+		system.DB.SeriesCount(), system.Broker.Published())
+	hosts := system.Cluster.Hostnames()
+	hm, err := examon.BuildHeatmap(system.DB, hosts, examon.HeatmapOptions{
+		Plugin: "pmu_pub", Metric: "instret", Rate: true, SumCores: true,
+		From: start, To: end, BinWidth: (end - start) / 72,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Heatmap("instructions/s per node over the campaign", hm))
+
+	// One batch query like the paper's analysis scripts: mean cpu_temp
+	// per node while the big HPL job ran.
+	fmt.Println("\nmean cpu_temp during the campaign:")
+	for _, h := range hosts {
+		series := system.DB.Query(examon.Filter{
+			Node: h, Plugin: "dstat_pub", Metric: "temperature.cpu_temp",
+			From: start, To: end,
+		})
+		if len(series) == 1 && len(series[0].Points) > 0 {
+			sum := 0.0
+			for _, p := range series[0].Points {
+				sum += p.V
+			}
+			fmt.Printf("  %s: %.1f degC over %d samples\n", h, sum/float64(len(series[0].Points)), len(series[0].Points))
+		}
+	}
+	return nil
+}

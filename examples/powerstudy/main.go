@@ -1,0 +1,68 @@
+// Powerstudy: reproduce the paper's power characterisation (Section V-B):
+// Table VI rail-by-rail budgets for every workload, the Fig. 3 benchmark
+// power traces and the Fig. 4 boot trace with its leakage / clock-tree /
+// operating-system decomposition.
+//
+// Run with: go run ./examples/powerstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"montecimone/internal/core"
+	"montecimone/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Table VI: per-rail power for idle, the four benchmarks and the two
+	// boot regions.
+	if err := report.TableVI(core.TableVI()).Write(os.Stdout); err != nil {
+		return err
+	}
+
+	// Section V-B decomposition: where the idle watts go.
+	d := core.Decomposition()
+	fmt.Printf("\nidle %.3f W -> HPL %.3f W\n", d.IdleTotalMilliwatts/1000, d.HPLTotalMilliwatts/1000)
+	fmt.Printf("core idle decomposition: leakage %.0f mW (%.0f%%), clock tree + dynamic %.0f mW (%.0f%%), OS %.0f mW (%.0f%%)\n",
+		d.CoreLeakage, 100*d.CoreLeakageFrac,
+		d.CoreClockTree, 100*d.CoreClockTreeFrac,
+		d.CoreOS, 100*d.CoreOSFrac)
+	fmt.Printf("DDR banks: %.0f mW leakage (%.0f%% of idle bank power)\n\n",
+		d.DDRLeakage, 100*d.DDRLeakageFrac)
+
+	// Fig. 3: 8-second power snapshots during each benchmark, raw shunt
+	// samples averaged over 1 ms windows.
+	for _, workload := range []string{"hpl", "stream.l2", "stream.ddr", "qe"} {
+		traces, err := core.Fig3(workload, 1)
+		if err != nil {
+			return err
+		}
+		core8 := traces.Traces.Lookup("core")
+		ddr := traces.Traces.Lookup("ddr_mem")
+		fmt.Printf("Fig. 3 [%s]: core %.0f mW, ddr_mem %.0f mW over %d x 1 ms windows\n",
+			workload, core8.Mean(), ddr.Mean(), core8.Len())
+	}
+
+	// Fig. 4: the boot trace and its regions.
+	bt, err := core.Fig4(1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nFig. 4 boot regions (core rail): R1 %.0f mW, R2 %.0f mW, R3 %.0f mW; PLL active at t=%.1f s\n",
+		bt.R1Mean, bt.R2Mean, bt.R3Mean, bt.PLLActivationAt)
+	coreTrace := bt.Traces.Lookup("core")
+	vals := make([]float64, coreTrace.Len())
+	for i := range vals {
+		vals[i] = coreTrace.At(i).Value
+	}
+	fmt.Printf("core rail: %s\n", report.Sparkline(report.Downsample(vals, 72)))
+	return nil
+}

@@ -1,0 +1,115 @@
+// Thermalrunaway: replay the Fig. 6 incident end to end. The first
+// full-machine HPL runs with the original lid-on enclosure drive node 7
+// (sitting in the PSU exhaust path) into thermal runaway; it trips at
+// 107 degC and the scheduler records a NODE_FAIL. The operators' fix —
+// removing the lid and increasing the vertical blade spacing — drops the
+// hottest node from ~71 degC to ~39 degC and the re-run completes.
+//
+// Run with: go run ./examples/thermalrunaway
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"montecimone/internal/core"
+	"montecimone/internal/power"
+	"montecimone/internal/report"
+	"montecimone/internal/sched"
+	"montecimone/internal/thermal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	system, err := core.NewSystem(core.Options{Nodes: 8})
+	if err != nil {
+		return err
+	}
+	defer system.Close()
+	if err := system.Boot(); err != nil {
+		return err
+	}
+
+	// Submit the first HPL run through SLURM, wiring the workload onto
+	// the allocated nodes.
+	submit := func(name string) (*sched.Job, error) {
+		return system.Scheduler.Submit(sched.JobSpec{
+			Name: name, User: "ops", Nodes: 8, TimeLimit: 5400, Duration: 3700,
+			OnStart: func(_ *sched.Job, hosts []string) {
+				// Allocated hosts always resolve; a failure here would be
+				// a programming error surfaced by the run's final state.
+				_ = system.Cluster.RunWorkloadOn(hosts, "hpl", power.ActivityHPL, 13.3e9)
+			},
+			OnEnd: func(j *sched.Job, _ sched.JobState) {
+				system.Cluster.ClearWorkloadOn(j.Hosts())
+			},
+		})
+	}
+	job, err := submit("hpl-first-runs")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 7200; i++ {
+		if err := system.Advance(1); err != nil {
+			return err
+		}
+		if st := job.State(); st != sched.StateRunning && st != sched.StatePending {
+			break
+		}
+	}
+	fmt.Printf("first HPL run: %s\n", job.State())
+	hottest(system)
+
+	// Apply the mitigation and return node 7 to service.
+	fmt.Println("\napplying mitigation: lids off, increased vertical spacing, node 7 power-cycled")
+	if err := system.Cluster.ApplyAirflowMitigation(); err != nil {
+		return err
+	}
+	if err := system.Scheduler.NodeUp("mc07"); err != nil {
+		return err
+	}
+	if err := system.Advance(120); err != nil {
+		return err
+	}
+
+	rerun, err := submit("hpl-after-fix")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 7200; i++ {
+		if err := system.Advance(1); err != nil {
+			return err
+		}
+		if st := rerun.State(); st != sched.StateRunning && st != sched.StatePending {
+			break
+		}
+	}
+	fmt.Printf("\nre-run after fix: %s\n", rerun.State())
+	hottest(system)
+
+	// The whole story is also visible in the ExaMon temperature data.
+	acct := &report.Table{Title: "\nsacct", Headers: []string{"JobID", "Name", "State"}}
+	for _, row := range system.Scheduler.Sacct() {
+		acct.AddRow(fmt.Sprintf("%d", row.ID), row.Name, string(row.State))
+	}
+	return acct.Write(log.Writer())
+}
+
+// hottest prints the current per-node SoC temperatures.
+func hottest(system *core.System) {
+	peak, peakHost := 0.0, ""
+	for i := 0; i < system.Cluster.Size(); i++ {
+		nd := system.Cluster.Node(i)
+		temp := nd.Temperature(thermal.SensorCPU)
+		fmt.Printf("  %s: %5.1f degC (%s)\n", nd.Hostname(), temp, nd.State())
+		if temp > peak {
+			peak, peakHost = temp, nd.Hostname()
+		}
+	}
+	fmt.Printf("  hottest: %s at %.1f degC\n", peakHost, peak)
+}

@@ -1,0 +1,170 @@
+// Package accel models the PCIe RISC-V accelerator expansion the paper
+// lists as future work (Section VI item v): the RV007 blade was built
+// "with abundant power headroom for future expansions with hardware
+// accelerators and PCIe network card connector", and the FU740 exposes a
+// PCIe Gen 3 root complex limited to x8 lanes.
+//
+// The model projects what a vector accelerator card (in the spirit of the
+// EPI/Manticore-class RISC-V designs the paper cites) does to the node's
+// HPL throughput: the trailing-matrix DGEMM updates move to the card, the
+// panel factorisation stays on the host, and the PCIe link carries the
+// panel and update tiles. The projection exposes the classic offload
+// crossover: small problems drown in transfer latency, large problems ride
+// the card's FPU.
+package accel
+
+import (
+	"fmt"
+
+	"montecimone/internal/soc"
+)
+
+// PCIe Gen 3 x8 effective payload bandwidth (the Unmatched slot is
+// physically x16 but wired x8).
+const PCIeGen3x8Bps = 7.88e9
+
+// Card describes a PCIe accelerator.
+type Card struct {
+	// Name labels the card.
+	Name string
+	// PeakFlops is the card's double-precision peak.
+	PeakFlops float64
+	// DGEMMEfficiency is the sustained fraction of peak on blocked
+	// multiplies.
+	DGEMMEfficiency float64
+	// MemBandwidthBps is the on-card memory bandwidth.
+	MemBandwidthBps float64
+	// PCIeBps is the host link payload bandwidth.
+	PCIeBps float64
+	// IdleWatts and ActiveWatts bound the card's power draw.
+	IdleWatts, ActiveWatts float64
+}
+
+// Validate checks the card description.
+func (c *Card) Validate() error {
+	switch {
+	case c == nil:
+		return fmt.Errorf("accel: nil card")
+	case c.Name == "":
+		return fmt.Errorf("accel: card missing name")
+	case c.PeakFlops <= 0:
+		return fmt.Errorf("accel: card %s: peak must be positive", c.Name)
+	case c.DGEMMEfficiency <= 0 || c.DGEMMEfficiency > 1:
+		return fmt.Errorf("accel: card %s: dgemm efficiency %v out of (0,1]", c.Name, c.DGEMMEfficiency)
+	case c.MemBandwidthBps <= 0 || c.PCIeBps <= 0:
+		return fmt.Errorf("accel: card %s: bandwidths must be positive", c.Name)
+	case c.ActiveWatts < c.IdleWatts || c.IdleWatts < 0:
+		return fmt.Errorf("accel: card %s: implausible power bounds", c.Name)
+	}
+	return nil
+}
+
+// VectorCard returns a plausible first-generation RISC-V vector
+// accelerator: 256 GFLOP/s DP peak (a Manticore-class chiplet design),
+// 64 GB/s HBM-lite memory, 25 W active.
+func VectorCard() *Card {
+	return &Card{
+		Name:            "rvv-accel",
+		PeakFlops:       256e9,
+		DGEMMEfficiency: 0.70,
+		MemBandwidthBps: 64e9,
+		PCIeBps:         PCIeGen3x8Bps,
+		IdleWatts:       8,
+		ActiveWatts:     25,
+	}
+}
+
+// DGEMMTime models an offloaded m x n x k multiply: tiles of A, B stream
+// over PCIe, compute runs at the card's sustained rate, and the slower of
+// transfer and compute bounds the kernel (double-buffered overlap).
+func (c *Card) DGEMMTime(m, n, k int) float64 {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return 0
+	}
+	flops := soc.DGEMMFlops(m, n, k)
+	compute := flops / (c.PeakFlops * c.DGEMMEfficiency)
+	// Transfers: A (m x k), B (k x n) in; C (m x n) out and back in for
+	// the accumulate.
+	bytes := 8 * (float64(m)*float64(k) + float64(k)*float64(n) + 2*float64(m)*float64(n))
+	transfer := bytes / c.PCIeBps
+	if transfer > compute {
+		return transfer
+	}
+	return compute
+}
+
+// HPLProjection is the outcome of projecting HPL onto host + card.
+type HPLProjection struct {
+	// HostGFlops is the unaccelerated result; AccelGFlops with the card.
+	HostGFlops  float64
+	AccelGFlops float64
+	// Speedup is the ratio; Bound names the limiting resource of the
+	// offloaded updates ("pcie" or "compute").
+	Speedup float64
+	Bound   string
+}
+
+// ProjectHPL projects a single-node HPL run (order n, block nb) with the
+// trailing updates offloaded to the card. The panel factorisation and row
+// swaps stay on the host cores.
+func ProjectHPL(machine *soc.Machine, card *Card, n, nb int) (*HPLProjection, error) {
+	if machine == nil {
+		return nil, fmt.Errorf("accel: nil machine")
+	}
+	if err := card.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 || nb <= 0 || nb > n {
+		return nil, fmt.Errorf("accel: invalid problem %d/%d", n, nb)
+	}
+	var hostTotal, accelTotal float64
+	var pcieBound, computeBound int
+	numPanels := (n + nb - 1) / nb
+	for k := 0; k < numPanels; k++ {
+		gk := k * nb
+		nk := n - gk
+		jb := nb
+		if nk < jb {
+			jb = nk
+		}
+		rem := nk - jb
+		panel := machine.PanelFactorTime(nk, jb)
+		hostUpdate := machine.DGEMMTime(rem, rem, jb) + machine.TRSMTime(jb, rem)
+		hostTotal += panel + hostUpdate
+		if rem > 0 {
+			accelUpdate := card.DGEMMTime(rem, rem, jb)
+			flops := soc.DGEMMFlops(rem, rem, jb)
+			if accelUpdate > flops/(card.PeakFlops*card.DGEMMEfficiency)+1e-15 {
+				pcieBound++
+			} else {
+				computeBound++
+			}
+			accelTotal += panel + accelUpdate + machine.TRSMTime(jb, rem)
+		} else {
+			accelTotal += panel
+		}
+	}
+	flops := 2.0/3.0*float64(n)*float64(n)*float64(n) + 2*float64(n)*float64(n)
+	proj := &HPLProjection{
+		HostGFlops:  flops / hostTotal / 1e9,
+		AccelGFlops: flops / accelTotal / 1e9,
+	}
+	proj.Speedup = proj.AccelGFlops / proj.HostGFlops
+	proj.Bound = "compute"
+	if pcieBound > computeBound {
+		proj.Bound = "pcie"
+	}
+	return proj, nil
+}
+
+// NodeWatts returns the card's contribution to node power at the given
+// utilisation in [0,1].
+func (c *Card) NodeWatts(utilisation float64) float64 {
+	if utilisation < 0 {
+		utilisation = 0
+	}
+	if utilisation > 1 {
+		utilisation = 1
+	}
+	return c.IdleWatts + (c.ActiveWatts-c.IdleWatts)*utilisation
+}

@@ -1,0 +1,127 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"montecimone/internal/soc"
+)
+
+func TestCardValidation(t *testing.T) {
+	if err := (*Card)(nil).Validate(); err == nil {
+		t.Error("nil card accepted")
+	}
+	good := VectorCard()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []func(*Card){
+		func(c *Card) { c.Name = "" },
+		func(c *Card) { c.PeakFlops = 0 },
+		func(c *Card) { c.DGEMMEfficiency = 2 },
+		func(c *Card) { c.MemBandwidthBps = 0 },
+		func(c *Card) { c.PCIeBps = -1 },
+		func(c *Card) { c.ActiveWatts = c.IdleWatts - 1 },
+	}
+	for i, mutate := range tests {
+		c := VectorCard()
+		mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDGEMMTimeRegimes(t *testing.T) {
+	c := VectorCard()
+	// Small multiply: PCIe transfer dominates.
+	smallFlops := soc.DGEMMFlops(256, 256, 64)
+	small := c.DGEMMTime(256, 256, 64)
+	if small <= smallFlops/(c.PeakFlops*c.DGEMMEfficiency) {
+		t.Error("small offload not transfer-bound")
+	}
+	// Large square multiply: compute dominates.
+	big := c.DGEMMTime(8192, 8192, 8192)
+	bigFlops := soc.DGEMMFlops(8192, 8192, 8192)
+	want := bigFlops / (c.PeakFlops * c.DGEMMEfficiency)
+	if math.Abs(big-want)/want > 1e-9 {
+		t.Errorf("large offload = %v, want compute-bound %v", big, want)
+	}
+	if c.DGEMMTime(0, 1, 1) != 0 {
+		t.Error("zero shape nonzero time")
+	}
+}
+
+func TestProjectHPLSpeedsUpLargeProblems(t *testing.T) {
+	machine := soc.FU740()
+	card := VectorCard()
+	proj, err := ProjectHPL(machine, card, 40704, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The host single node runs ~1.9 GFLOP/s; the card should lift the
+	// node by an order of magnitude at the paper's problem size.
+	if proj.Speedup < 5 {
+		t.Errorf("speedup = %.2f, want substantial offload gain", proj.Speedup)
+	}
+	if proj.AccelGFlops <= proj.HostGFlops {
+		t.Error("no acceleration")
+	}
+	// At the paper's problem size the square updates amortise the C-tile
+	// round trips: the card's FPU is the limit.
+	if proj.Bound != "compute" {
+		t.Errorf("bound = %s, want compute at N=40704", proj.Bound)
+	}
+}
+
+func TestProjectHPLSmallProblemGainsLess(t *testing.T) {
+	machine := soc.FU740()
+	card := VectorCard()
+	small, err := ProjectHPL(machine, card, 2048, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := ProjectHPL(machine, card, 16384, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Speedup >= large.Speedup {
+		t.Errorf("small-problem speedup %.2f not below large %.2f", small.Speedup, large.Speedup)
+	}
+	// Small problems pay the x8 link: the offload crossover.
+	if small.Bound != "pcie" {
+		t.Errorf("small-problem bound = %s, want pcie", small.Bound)
+	}
+}
+
+func TestProjectHPLValidation(t *testing.T) {
+	if _, err := ProjectHPL(nil, VectorCard(), 1024, 64); err == nil {
+		t.Error("nil machine accepted")
+	}
+	if _, err := ProjectHPL(soc.FU740(), nil, 1024, 64); err == nil {
+		t.Error("nil card accepted")
+	}
+	if _, err := ProjectHPL(soc.FU740(), VectorCard(), 0, 64); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ProjectHPL(soc.FU740(), VectorCard(), 64, 128); err == nil {
+		t.Error("nb>n accepted")
+	}
+}
+
+func TestNodeWatts(t *testing.T) {
+	c := VectorCard()
+	if c.NodeWatts(0) != c.IdleWatts {
+		t.Error("idle watts")
+	}
+	if c.NodeWatts(1) != c.ActiveWatts {
+		t.Error("active watts")
+	}
+	if c.NodeWatts(-1) != c.IdleWatts || c.NodeWatts(2) != c.ActiveWatts {
+		t.Error("clamping")
+	}
+	mid := c.NodeWatts(0.5)
+	if mid <= c.IdleWatts || mid >= c.ActiveWatts {
+		t.Error("interpolation")
+	}
+}

@@ -1,0 +1,337 @@
+// Package cluster assembles the Monte Cimone machine: eight compute nodes
+// in four E4 RV007 blades (two HiFive Unmatched boards per 1U case, one
+// 250 W PSU each so every node powers on individually), a login node and a
+// master node running the job scheduler, the NFS export and the system
+// management software, all connected through the 1 Gb Ethernet fabric.
+package cluster
+
+import (
+	"fmt"
+
+	"montecimone/internal/netsim"
+	"montecimone/internal/node"
+	"montecimone/internal/power"
+	"montecimone/internal/sim"
+	"montecimone/internal/soc"
+	"montecimone/internal/storage"
+	"montecimone/internal/thermal"
+)
+
+// DefaultNodes is the paper's compute-node count.
+const DefaultNodes = 8
+
+// NodesPerBlade is the RV007 dual-board blade capacity.
+const NodesPerBlade = 2
+
+// Config describes a cluster build.
+type Config struct {
+	// Nodes is the compute-node count; defaults to DefaultNodes.
+	Nodes int
+	// Machine is the per-node SoC; defaults to soc.FU740().
+	Machine *soc.Machine
+	// Enclosure is the initial chassis configuration; defaults to the
+	// paper's original lid-on build.
+	Enclosure *thermal.Enclosure
+	// Link is the MPI fabric; defaults to netsim.GigabitEthernet().
+	Link *netsim.Link
+	// HPMPatch applies the U-Boot counter patch on all nodes.
+	HPMPatch bool
+	// StepPeriod is the node-model integration period in seconds
+	// (default 0.1 s).
+	StepPeriod float64
+}
+
+// Cluster is the assembled machine.
+type Cluster struct {
+	engine  *sim.Engine
+	machine *soc.Machine
+	nodes   []*node.Node
+	fabric  *netsim.Fabric
+
+	nfs    *storage.NFS
+	mounts map[string]*storage.Mount
+	nvmes  map[string]*storage.NVMe
+
+	stepPeriod float64
+	ticker     *sim.Ticker
+	onHalt     func(hostname string)
+	haltSeen   map[string]bool
+}
+
+// LoginHostname and MasterHostname name the service nodes.
+const (
+	LoginHostname  = "mclogin"
+	MasterHostname = "mcmaster"
+)
+
+// New assembles a cluster on the given engine.
+func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("cluster: nil engine")
+	}
+	n := cfg.Nodes
+	if n == 0 {
+		n = DefaultNodes
+	}
+	if n < 1 || n > thermal.NumSlots {
+		return nil, fmt.Errorf("cluster: node count %d outside [1,%d]", n, thermal.NumSlots)
+	}
+	machine := cfg.Machine
+	if machine == nil {
+		machine = soc.FU740()
+	}
+	enc := thermal.DefaultEnclosure()
+	if cfg.Enclosure != nil {
+		enc = *cfg.Enclosure
+	}
+	link := netsim.GigabitEthernet()
+	if cfg.Link != nil {
+		link = *cfg.Link
+	}
+	period := cfg.StepPeriod
+	if period == 0 {
+		period = 0.1
+	}
+	if period < 0 {
+		return nil, fmt.Errorf("cluster: negative step period %v", period)
+	}
+	fabric, err := netsim.NewFabric(n, link)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	c := &Cluster{
+		engine:     engine,
+		machine:    machine,
+		fabric:     fabric,
+		nfs:        storage.NewNFS(),
+		mounts:     make(map[string]*storage.Mount, n),
+		nvmes:      make(map[string]*storage.NVMe, n),
+		stepPeriod: period,
+		haltSeen:   make(map[string]bool, n),
+	}
+	for id := 1; id <= n; id++ {
+		nd, err := node.New(node.Config{
+			ID:        id,
+			Slot:      id - 1,
+			Machine:   machine,
+			Enclosure: enc,
+			HPMPatch:  cfg.HPMPatch,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.nodes = append(c.nodes, nd)
+		mount, err := c.nfs.Mount(nd.Hostname())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.mounts[nd.Hostname()] = mount
+		c.nvmes[nd.Hostname()] = storage.NewNVMe()
+	}
+	return c, nil
+}
+
+// Engine returns the driving discrete-event engine.
+func (c *Cluster) Engine() *sim.Engine { return c.engine }
+
+// Machine returns the node SoC model.
+func (c *Cluster) Machine() *soc.Machine { return c.machine }
+
+// Fabric returns the MPI interconnect.
+func (c *Cluster) Fabric() *netsim.Fabric { return c.fabric }
+
+// NFS returns the master node's file-system export.
+func (c *Cluster) NFS() *storage.NFS { return c.nfs }
+
+// NFSMount returns a compute node's NFS mount.
+func (c *Cluster) NFSMount(hostname string) (*storage.Mount, error) {
+	m, ok := c.mounts[hostname]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no NFS mount for %q", hostname)
+	}
+	return m, nil
+}
+
+// NVMe returns a compute node's local SSD.
+func (c *Cluster) NVMe(hostname string) (*storage.NVMe, error) {
+	d, ok := c.nvmes[hostname]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no NVMe for %q", hostname)
+	}
+	return d, nil
+}
+
+// Size returns the compute-node count.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns the 0-based i-th compute node.
+func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
+
+// NodeByHostname resolves a compute node by hostname.
+func (c *Cluster) NodeByHostname(host string) (*node.Node, error) {
+	for _, nd := range c.nodes {
+		if nd.Hostname() == host {
+			return nd, nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: unknown host %q", host)
+}
+
+// Hostnames lists the compute-node hostnames in node order.
+func (c *Cluster) Hostnames() []string {
+	out := make([]string, len(c.nodes))
+	for i, nd := range c.nodes {
+		out[i] = nd.Hostname()
+	}
+	return out
+}
+
+// Blades returns the blade composition: blade i holds the node indexes of
+// its two boards (the last blade may hold one on odd-sized clusters).
+func (c *Cluster) Blades() [][]int {
+	var blades [][]int
+	for i := 0; i < len(c.nodes); i += NodesPerBlade {
+		end := i + NodesPerBlade
+		if end > len(c.nodes) {
+			end = len(c.nodes)
+		}
+		blade := make([]int, 0, NodesPerBlade)
+		for j := i; j < end; j++ {
+			blade = append(blade, j)
+		}
+		blades = append(blades, blade)
+	}
+	return blades
+}
+
+// OnNodeHalt registers a callback fired once per thermal halt (wired to
+// the scheduler's NodeDown by the facade).
+func (c *Cluster) OnNodeHalt(fn func(hostname string)) { c.onHalt = fn }
+
+// PowerOnAll presses every node's power button at the current virtual time
+// and starts the model integration ticker. Nodes finish booting after
+// node.R1Duration + node.R2Duration seconds.
+func (c *Cluster) PowerOnAll() error {
+	now := c.engine.Now()
+	for _, nd := range c.nodes {
+		if nd.State() == node.StateOff {
+			if err := nd.PowerOn(now); err != nil {
+				return fmt.Errorf("cluster: %w", err)
+			}
+		}
+	}
+	return c.startTicker()
+}
+
+func (c *Cluster) startTicker() error {
+	if c.ticker != nil {
+		return nil
+	}
+	tk, err := sim.NewTicker(c.engine, c.engine.Now()+c.stepPeriod, c.stepPeriod, "cluster.step", c.step)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	c.ticker = tk
+	return nil
+}
+
+// Stop halts the integration ticker (end of simulation).
+func (c *Cluster) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+	}
+}
+
+func (c *Cluster) step(now float64) {
+	for _, nd := range c.nodes {
+		nd.Step(now)
+		if nd.State() == node.StateHalted && !c.haltSeen[nd.Hostname()] {
+			c.haltSeen[nd.Hostname()] = true
+			if c.onHalt != nil {
+				c.onHalt(nd.Hostname())
+			}
+		}
+	}
+}
+
+// BootAndSettle powers on all nodes and advances the engine until every
+// node reaches the running state (plus settle seconds of idle).
+func (c *Cluster) BootAndSettle(settle float64) error {
+	if err := c.PowerOnAll(); err != nil {
+		return err
+	}
+	deadline := c.engine.Now() + node.R1Duration + node.R2Duration + c.stepPeriod + settle
+	if err := c.engine.RunUntil(deadline); err != nil {
+		return fmt.Errorf("cluster: boot: %w", err)
+	}
+	for _, nd := range c.nodes {
+		if nd.State() != node.StateRunning {
+			return fmt.Errorf("cluster: node %s state %s after boot", nd.Hostname(), nd.State())
+		}
+	}
+	return nil
+}
+
+// RunWorkloadOn installs a workload activity on the named hosts.
+func (c *Cluster) RunWorkloadOn(hosts []string, name string, act power.Activity, memBytes float64) error {
+	for _, h := range hosts {
+		nd, err := c.NodeByHostname(h)
+		if err != nil {
+			return err
+		}
+		if err := nd.SetWorkload(name, act, memBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClearWorkloadOn clears workloads from the named hosts (halted nodes are
+// skipped: their workload already ended).
+func (c *Cluster) ClearWorkloadOn(hosts []string) {
+	for _, h := range hosts {
+		if nd, err := c.NodeByHostname(h); err == nil {
+			nd.ClearWorkload()
+		}
+	}
+}
+
+// ApplyAirflowMitigation removes the blade lids and increases the vertical
+// spacing (the paper's fix after the node-7 thermal hazard), and returns
+// halted nodes to service after a power cycle.
+func (c *Cluster) ApplyAirflowMitigation() error {
+	enc := thermal.Enclosure{AmbientC: 25, LidOn: false}
+	for _, nd := range c.nodes {
+		if err := nd.Thermal().SetEnclosure(enc); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		if nd.State() == node.StateHalted {
+			nd.PowerOff()
+			if err := nd.PowerOn(c.engine.Now()); err != nil {
+				return fmt.Errorf("cluster: %w", err)
+			}
+			c.haltSeen[nd.Hostname()] = false
+		}
+	}
+	return nil
+}
+
+// Placement builds an MPI rank placement using ranksPerNode tasks per node
+// over the first nodes compute nodes (the paper runs 1 MPI task per
+// physical core, i.e. 4 per node).
+func (c *Cluster) Placement(nodes, ranksPerNode int) ([]int, error) {
+	if nodes < 1 || nodes > len(c.nodes) {
+		return nil, fmt.Errorf("cluster: placement over %d nodes, have %d", nodes, len(c.nodes))
+	}
+	if ranksPerNode < 1 {
+		return nil, fmt.Errorf("cluster: ranks per node must be positive, got %d", ranksPerNode)
+	}
+	placement := make([]int, 0, nodes*ranksPerNode)
+	for nd := 0; nd < nodes; nd++ {
+		for r := 0; r < ranksPerNode; r++ {
+			placement = append(placement, nd)
+		}
+	}
+	return placement, nil
+}

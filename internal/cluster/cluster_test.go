@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"montecimone/internal/node"
+	"montecimone/internal/power"
+	"montecimone/internal/sim"
+	"montecimone/internal/thermal"
+)
+
+func newCluster(t *testing.T, cfg Config) (*sim.Engine, *Cluster) {
+	t.Helper()
+	e := sim.NewEngine()
+	c, err := New(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, c
+}
+
+func TestNewValidation(t *testing.T) {
+	e := sim.NewEngine()
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := New(e, Config{Nodes: 99}); err == nil {
+		t.Error("oversized cluster accepted")
+	}
+	if _, err := New(e, Config{StepPeriod: -1}); err == nil {
+		t.Error("negative step period accepted")
+	}
+}
+
+func TestDefaultTopology(t *testing.T) {
+	_, c := newCluster(t, Config{})
+	if c.Size() != 8 {
+		t.Fatalf("size = %d, want 8", c.Size())
+	}
+	hosts := c.Hostnames()
+	if hosts[0] != "mc01" || hosts[7] != "mc08" {
+		t.Errorf("hostnames = %v", hosts)
+	}
+	blades := c.Blades()
+	if len(blades) != 4 {
+		t.Fatalf("blades = %d, want 4", len(blades))
+	}
+	for i, blade := range blades {
+		if len(blade) != 2 {
+			t.Errorf("blade %d holds %d nodes, want 2", i, len(blade))
+		}
+	}
+	if c.NFS().Clients() != 8 {
+		t.Errorf("NFS clients = %d, want 8", c.NFS().Clients())
+	}
+	if c.Fabric().Nodes() != 8 {
+		t.Errorf("fabric nodes = %d", c.Fabric().Nodes())
+	}
+}
+
+func TestLookups(t *testing.T) {
+	_, c := newCluster(t, Config{})
+	nd, err := c.NodeByHostname("mc05")
+	if err != nil || nd.ID() != 5 {
+		t.Errorf("NodeByHostname: %v, %v", nd, err)
+	}
+	if _, err := c.NodeByHostname("zz99"); err == nil {
+		t.Error("unknown host accepted")
+	}
+	if _, err := c.NFSMount("mc03"); err != nil {
+		t.Errorf("NFSMount: %v", err)
+	}
+	if _, err := c.NFSMount("zz"); err == nil {
+		t.Error("unknown mount accepted")
+	}
+	if _, err := c.NVMe("mc03"); err != nil {
+		t.Errorf("NVMe: %v", err)
+	}
+	if _, err := c.NVMe("zz"); err == nil {
+		t.Error("unknown NVMe accepted")
+	}
+}
+
+func TestBootAndSettle(t *testing.T) {
+	e, c := newCluster(t, Config{})
+	if err := c.BootAndSettle(5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Size(); i++ {
+		if c.Node(i).State() != node.StateRunning {
+			t.Errorf("node %d state %s", i+1, c.Node(i).State())
+		}
+	}
+	// Idle power per node after boot.
+	if got := c.Node(0).TotalMilliwatts(); got != 4810 {
+		t.Errorf("idle node power = %v, want 4810", got)
+	}
+	if e.Now() < node.R1Duration+node.R2Duration {
+		t.Errorf("engine time %v did not cover boot", e.Now())
+	}
+}
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	_, c := newCluster(t, Config{})
+	if err := c.BootAndSettle(1); err != nil {
+		t.Fatal(err)
+	}
+	hosts := c.Hostnames()[:4]
+	if err := c.RunWorkloadOn(hosts, "hpl", power.ActivityHPL, 13e9); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hosts {
+		nd, _ := c.NodeByHostname(h)
+		if nd.Workload() != "hpl" {
+			t.Errorf("%s workload = %q", h, nd.Workload())
+		}
+	}
+	nd, _ := c.NodeByHostname("mc05")
+	if nd.Workload() != "" {
+		t.Error("unallocated node got a workload")
+	}
+	c.ClearWorkloadOn(hosts)
+	for _, h := range hosts {
+		nd, _ := c.NodeByHostname(h)
+		if nd.Workload() != "" {
+			t.Errorf("%s workload not cleared", h)
+		}
+	}
+	if err := c.RunWorkloadOn([]string{"bogus"}, "x", power.ActivityIdle, 0); err == nil {
+		t.Error("workload on unknown host accepted")
+	}
+}
+
+func TestNode7HaltsUnderFullMachineHPL(t *testing.T) {
+	// Fig. 6 scenario: full-machine HPL with the lid on halts node 7.
+	e, c := newCluster(t, Config{})
+	if err := c.BootAndSettle(1); err != nil {
+		t.Fatal(err)
+	}
+	var halted []string
+	c.OnNodeHalt(func(h string) { halted = append(halted, h) })
+	if err := c.RunWorkloadOn(c.Hostnames(), "hpl", power.ActivityHPL, 13e9); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(e.Now() + 3600); err != nil {
+		t.Fatal(err)
+	}
+	if len(halted) != 1 || halted[0] != "mc07" {
+		t.Fatalf("halted = %v, want [mc07]", halted)
+	}
+	nd, _ := c.NodeByHostname("mc07")
+	if nd.State() != node.StateHalted {
+		t.Errorf("mc07 state = %s", nd.State())
+	}
+	// After the trip the node powers down and cools back towards the slot
+	// air temperature.
+	if got := nd.Temperature(thermal.SensorCPU); got >= thermal.TripTempC {
+		t.Errorf("mc07 temp = %v, want cooling below %v after shutdown", got, thermal.TripTempC)
+	}
+	// Other centre nodes hot but stable near 71 degC.
+	nd3, _ := c.NodeByHostname("mc03")
+	if temp := nd3.Temperature(thermal.SensorCPU); math.Abs(temp-71) > 3 {
+		t.Errorf("mc03 temp = %.1f, want ~71", temp)
+	}
+}
+
+func TestAirflowMitigationRecoversNode7(t *testing.T) {
+	e, c := newCluster(t, Config{})
+	if err := c.BootAndSettle(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunWorkloadOn(c.Hostnames(), "hpl", power.ActivityHPL, 13e9); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(e.Now() + 3600); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ApplyAirflowMitigation(); err != nil {
+		t.Fatal(err)
+	}
+	// Node 7 reboots; wait for boot plus thermal relaxation.
+	if err := e.RunUntil(e.Now() + 600); err != nil {
+		t.Fatal(err)
+	}
+	nd, _ := c.NodeByHostname("mc07")
+	if nd.State() != node.StateRunning {
+		t.Fatalf("mc07 state = %s after mitigation", nd.State())
+	}
+	// Re-run HPL everywhere: the hottest node now stays near 39 degC.
+	if err := c.RunWorkloadOn(c.Hostnames(), "hpl", power.ActivityHPL, 13e9); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(e.Now() + 1800); err != nil {
+		t.Fatal(err)
+	}
+	hottest := 0.0
+	for i := 0; i < c.Size(); i++ {
+		if temp := c.Node(i).Temperature(thermal.SensorCPU); temp > hottest {
+			hottest = temp
+		}
+	}
+	if math.Abs(hottest-39) > 2 {
+		t.Errorf("hottest post-mitigation = %.1f, want ~39", hottest)
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	_, c := newCluster(t, Config{})
+	p, err := c.Placement(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	if len(p) != len(want) {
+		t.Fatalf("placement = %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("placement = %v, want %v", p, want)
+		}
+	}
+	if _, err := c.Placement(0, 4); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := c.Placement(9, 4); err == nil {
+		t.Error("too many nodes accepted")
+	}
+	if _, err := c.Placement(2, 0); err == nil {
+		t.Error("zero ranks per node accepted")
+	}
+}
+
+func TestStopTicker(t *testing.T) {
+	e, c := newCluster(t, Config{})
+	if err := c.BootAndSettle(1); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	before := e.Pending()
+	if err := e.RunUntil(e.Now() + 10); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() > before {
+		t.Error("ticker still scheduling after Stop")
+	}
+	// Idempotent.
+	c.Stop()
+}
+
+func TestSmallCluster(t *testing.T) {
+	_, c := newCluster(t, Config{Nodes: 3})
+	if c.Size() != 3 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	blades := c.Blades()
+	if len(blades) != 2 || len(blades[1]) != 1 {
+		t.Errorf("blades = %v", blades)
+	}
+}

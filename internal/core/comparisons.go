@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+
+	"montecimone/internal/hpl"
+	"montecimone/internal/netsim"
+	"montecimone/internal/qe"
+	"montecimone/internal/sim"
+	"montecimone/internal/soc"
+	"montecimone/internal/stream"
+)
+
+// EfficiencyRow is one machine's entry in the Section V-A cross-ISA
+// comparison.
+type EfficiencyRow struct {
+	// Machine is the system name; ISA its instruction set.
+	Machine string
+	ISA     soc.ISA
+	// Efficiency is the attained fraction of the relevant peak (FPU for
+	// HPL, DDR bandwidth for STREAM); Attained the absolute value
+	// (GFLOP/s or MB/s).
+	Efficiency float64
+	Attained   float64
+}
+
+// HPLEfficiencyComparison regenerates the single-node FPU-utilisation
+// comparison: Monte Cimone 46.5 %, Marconi100 59.7 %, Armida 65.79 %.
+func HPLEfficiencyComparison() ([]EfficiencyRow, error) {
+	machines := []*soc.Machine{soc.FU740(), soc.Marconi100(), soc.Armida()}
+	rows := make([]EfficiencyRow, 0, len(machines))
+	for _, m := range machines {
+		res, err := hpl.Simulate(hpl.Config{
+			N: PaperN, NB: PaperNB, Nodes: 1,
+			RanksPerNode: m.Cores, Machine: m,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, EfficiencyRow{
+			Machine: m.Name, ISA: m.ISA,
+			Efficiency: res.Efficiency, Attained: res.GFlops,
+		})
+	}
+	return rows, nil
+}
+
+// StreamEfficiencyComparison regenerates the peak-bandwidth comparison:
+// Monte Cimone 15.5 %, Marconi100 48.2 %, Armida 63.21 % (best kernel,
+// DDR-resident set, one thread per physical core).
+func StreamEfficiencyComparison() ([]EfficiencyRow, error) {
+	machines := []*soc.Machine{soc.FU740(), soc.Marconi100(), soc.Armida()}
+	rows := make([]EfficiencyRow, 0, len(machines))
+	for _, m := range machines {
+		results, err := stream.Run(stream.Config{
+			Machine:         m,
+			WorkingSetBytes: m.L2Bytes * 128,
+		})
+		if err != nil {
+			return nil, err
+		}
+		best := stream.Result{}
+		for _, r := range results {
+			if r.EfficiencyOfPeak > best.EfficiencyOfPeak {
+				best = r
+			}
+		}
+		rows = append(rows, EfficiencyRow{
+			Machine: m.Name, ISA: m.ISA,
+			Efficiency: best.EfficiencyOfPeak, Attained: best.MeanMBps,
+		})
+	}
+	return rows, nil
+}
+
+// QELaxReport is the Section V-A quantumESPRESSO result.
+type QELaxReport struct {
+	// Statistics over 10 repetitions of the 512^2 LAX test.
+	MeanGFlops, StdGFlops   float64
+	MeanSeconds, StdSeconds float64
+	Efficiency              float64
+}
+
+// QELax regenerates the LAX benchmark result: 1.44 +- 0.05 GFLOP/s (36 %
+// FPU efficiency) over 37.40 +- 0.14 s.
+func QELax(seed int64) (*QELaxReport, error) {
+	stats, err := qe.Repeat(qe.Config{N: 512}, 10, sim.NewRNG(seed), "qelax")
+	if err != nil {
+		return nil, err
+	}
+	return &QELaxReport{
+		MeanGFlops: stats.MeanGFlops, StdGFlops: stats.StdGFlops,
+		MeanSeconds: stats.MeanSeconds, StdSeconds: stats.StdSeconds,
+		Efficiency: stats.Base.Efficiency,
+	}, nil
+}
+
+// InfinibandReport is the Section III HCA bring-up status.
+type InfinibandReport struct {
+	// Recognised and ModuleLoaded reflect the kernel's view of the
+	// ConnectX-4 HCA; PingRTTSeconds is the board-to-board ib-ping.
+	Recognised     bool
+	ModuleLoaded   bool
+	PingRTTSeconds float64
+	// RDMAWorking is false on the paper's stack; RDMAError carries the
+	// failure.
+	RDMAWorking bool
+	RDMAError   string
+}
+
+// InfinibandStatus reproduces the paper's InfiniBand bring-up: the HCA
+// enumerates, the OFED module loads and ib-ping succeeds between two
+// boards, but RDMA verbs fail.
+func InfinibandStatus() (*InfinibandReport, error) {
+	link := netsim.InfinibandFDR()
+	a, err := netsim.NewHCA(0, link)
+	if err != nil {
+		return nil, err
+	}
+	b, err := netsim.NewHCA(1, link)
+	if err != nil {
+		return nil, err
+	}
+	report := &InfinibandReport{Recognised: a.Recognised()}
+	if err := a.LoadModule(); err != nil {
+		return nil, err
+	}
+	if err := b.LoadModule(); err != nil {
+		return nil, err
+	}
+	report.ModuleLoaded = true
+	rtt, err := a.Ping(b)
+	if err != nil {
+		return nil, err
+	}
+	report.PingRTTSeconds = rtt
+	if _, err := a.RDMAWrite(b, 1<<20); err != nil {
+		if !errors.Is(err, netsim.ErrRDMAUnsupported) {
+			return nil, err
+		}
+		report.RDMAError = err.Error()
+	} else {
+		report.RDMAWorking = true
+	}
+	return report, nil
+}

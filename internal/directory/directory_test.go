@@ -1,0 +1,192 @@
+package directory
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer("dc=montecimone,dc=unibo,dc=it")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddGroup("hpc", 100); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(""); err == nil {
+		t.Error("empty base accepted")
+	}
+}
+
+func TestAddUserAndLookup(t *testing.T) {
+	s := newServer(t)
+	u, err := s.AddUser("abartolini", "Andrea Bartolini", "hpc", "s3cret-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.UID != 1000 || u.GID != 100 {
+		t.Errorf("ids = %d/%d", u.UID, u.GID)
+	}
+	if u.Home != "/home/abartolini" {
+		t.Errorf("home = %q", u.Home)
+	}
+	if u.DN(s.Base()) != "uid=abartolini,ou=People,dc=montecimone,dc=unibo,dc=it" {
+		t.Errorf("dn = %q", u.DN(s.Base()))
+	}
+	second, err := s.AddUser("fficarelli", "Federico Ficarelli", "hpc", "another-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.UID != 1001 {
+		t.Errorf("uid allocation = %d", second.UID)
+	}
+	g, ok := s.LookupGroup("hpc")
+	if !ok || len(g.Members) != 2 {
+		t.Errorf("group members = %v", g)
+	}
+	if _, ok := s.Lookup("abartolini"); !ok {
+		t.Error("lookup failed")
+	}
+}
+
+func TestAddUserValidation(t *testing.T) {
+	s := newServer(t)
+	if _, err := s.AddUser("", "x", "hpc", "longenough"); err == nil {
+		t.Error("empty username accepted")
+	}
+	if _, err := s.AddUser("a", "x", "nogroup", "longenough"); err == nil {
+		t.Error("unknown group accepted")
+	}
+	if _, err := s.AddUser("a", "x", "hpc", "short"); err == nil {
+		t.Error("weak password accepted")
+	}
+	if _, err := s.AddUser("a", "x", "hpc", "longenough"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddUser("a", "y", "hpc", "longenough"); err == nil {
+		t.Error("duplicate user accepted")
+	}
+}
+
+func TestAddGroupValidation(t *testing.T) {
+	s := newServer(t)
+	if _, err := s.AddGroup("", 1); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := s.AddGroup("hpc", 200); err == nil {
+		t.Error("duplicate group accepted")
+	}
+	if _, err := s.AddGroup("other", 100); err == nil {
+		t.Error("duplicate gid accepted")
+	}
+}
+
+func TestBind(t *testing.T) {
+	s := newServer(t)
+	if _, err := s.AddUser("bench", "Bench", "hpc", "hpl-2.3-runs"); err != nil {
+		t.Fatal(err)
+	}
+	// Bare username bind.
+	if _, err := s.Bind("bench", "hpl-2.3-runs"); err != nil {
+		t.Errorf("bind: %v", err)
+	}
+	// Full DN bind.
+	if _, err := s.Bind("uid=bench,ou=People,dc=montecimone,dc=unibo,dc=it", "hpl-2.3-runs"); err != nil {
+		t.Errorf("dn bind: %v", err)
+	}
+	// Wrong password / user / base.
+	if _, err := s.Bind("bench", "wrong"); !errors.Is(err, ErrInvalidCredentials) {
+		t.Errorf("bad password err = %v", err)
+	}
+	if _, err := s.Bind("ghost", "hpl-2.3-runs"); !errors.Is(err, ErrInvalidCredentials) {
+		t.Errorf("unknown user err = %v", err)
+	}
+	if _, err := s.Bind("uid=bench,ou=People,dc=evil,dc=org", "hpl-2.3-runs"); !errors.Is(err, ErrInvalidCredentials) {
+		t.Errorf("foreign base err = %v", err)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	s := newServer(t)
+	for _, u := range []string{"alice", "bob", "alfred"} {
+		if _, err := s.AddUser(u, "User "+u, "hpc", "password1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Search("(uid=al*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Username != "alfred" || got[1].Username != "alice" {
+		t.Errorf("search = %v", got)
+	}
+	exact, err := s.Search("(uid=bob)")
+	if err != nil || len(exact) != 1 {
+		t.Errorf("exact search = %v, %v", exact, err)
+	}
+	byGid, err := s.Search("(gidNumber=100)")
+	if err != nil || len(byGid) != 3 {
+		t.Errorf("gid search = %v, %v", byGid, err)
+	}
+	if _, err := s.Search("uid=x"); err == nil {
+		t.Error("unparenthesised filter accepted")
+	}
+	if _, err := s.Search("(shoeSize=42)"); err == nil {
+		t.Error("unsupported attribute accepted")
+	}
+	if _, err := s.Search("(=)"); err == nil {
+		t.Error("empty filter accepted")
+	}
+}
+
+func TestLoginFlow(t *testing.T) {
+	s, err := DefaultDirectory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Login(s, "mclogin", "bench", "hpl-2.3-runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Host != "mclogin" || sess.User.Username != "bench" {
+		t.Errorf("session = %+v", sess)
+	}
+	if _, err := Login(s, "mclogin", "bench", "nope"); err == nil {
+		t.Error("bad login accepted")
+	}
+}
+
+// Property: Bind succeeds exactly for the password a user was created
+// with (passwords at least 6 printable runes).
+func TestBindRoundTripProperty(t *testing.T) {
+	prop := func(pwRaw [8]byte) bool {
+		pw := ""
+		for _, b := range pwRaw {
+			pw += string(rune('!' + b%90))
+		}
+		s, err := NewServer("dc=x")
+		if err != nil {
+			return false
+		}
+		if _, err := s.AddGroup("g", 1); err != nil {
+			return false
+		}
+		if _, err := s.AddUser("u", "U", "g", pw); err != nil {
+			return false
+		}
+		if _, err := s.Bind("u", pw); err != nil {
+			return false
+		}
+		_, err = s.Bind("u", pw+"x")
+		return errors.Is(err, ErrInvalidCredentials)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

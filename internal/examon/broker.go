@@ -1,0 +1,152 @@
+// Package examon reimplements the ExaMon operational-data-analytics stack
+// (Bartolini et al.) that the paper ports to Monte Cimone: an MQTT-style
+// broker for the transport layer, the pmu_pub and stats_pub sampling
+// plugins installed on the compute nodes, a time-series storage backend on
+// the master node, a RESTful query API over HTTP, and the dashboard
+// aggregations behind the paper's Fig. 5 heatmaps and Fig. 6 thermal view.
+package examon
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Broker is an MQTT-flavoured topic-based publish/subscribe hub.
+// Dispatch is synchronous and in subscription order, which keeps the
+// simulation deterministic. Safe for concurrent use.
+type Broker struct {
+	mu        sync.Mutex
+	subs      []*Subscription
+	published uint64
+}
+
+// Subscription is a registered topic-pattern callback.
+type Subscription struct {
+	pattern []string
+	fn      func(topic, payload string)
+	active  bool
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{}
+}
+
+// Subscribe registers a callback for an MQTT-style pattern ('+' matches one
+// level, '#' matches any suffix and must be last).
+func (b *Broker) Subscribe(pattern string, fn func(topic, payload string)) (*Subscription, error) {
+	levels, err := validatePattern(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("examon: nil subscription callback")
+	}
+	sub := &Subscription{pattern: levels, fn: fn, active: true}
+	b.mu.Lock()
+	b.subs = append(b.subs, sub)
+	b.mu.Unlock()
+	return sub, nil
+}
+
+// Unsubscribe deactivates a subscription.
+func (b *Broker) Unsubscribe(sub *Subscription) {
+	if sub == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sub.active = false
+	for i, s := range b.subs {
+		if s == sub {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			break
+		}
+	}
+}
+
+// Publish delivers a payload to every matching subscription.
+func (b *Broker) Publish(topic, payload string) error {
+	if err := validateTopic(topic); err != nil {
+		return err
+	}
+	levels := strings.Split(topic, "/")
+	b.mu.Lock()
+	b.published++
+	subs := make([]*Subscription, len(b.subs))
+	copy(subs, b.subs)
+	b.mu.Unlock()
+	for _, sub := range subs {
+		if sub.active && matchLevels(sub.pattern, levels) {
+			sub.fn(topic, payload)
+		}
+	}
+	return nil
+}
+
+// Published returns the number of messages accepted so far.
+func (b *Broker) Published() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published
+}
+
+func validateTopic(topic string) error {
+	if topic == "" {
+		return fmt.Errorf("examon: empty topic")
+	}
+	if strings.ContainsAny(topic, "+#") {
+		return fmt.Errorf("examon: topic %q contains wildcard characters", topic)
+	}
+	return nil
+}
+
+func validatePattern(pattern string) ([]string, error) {
+	if pattern == "" {
+		return nil, fmt.Errorf("examon: empty pattern")
+	}
+	levels := strings.Split(pattern, "/")
+	for i, l := range levels {
+		switch l {
+		case "#":
+			if i != len(levels)-1 {
+				return nil, fmt.Errorf("examon: pattern %q: '#' must be the final level", pattern)
+			}
+		case "+":
+			// single-level wildcard: fine anywhere
+		default:
+			if strings.ContainsAny(l, "+#") {
+				return nil, fmt.Errorf("examon: pattern %q: wildcard inside level %q", pattern, l)
+			}
+		}
+	}
+	return levels, nil
+}
+
+// MatchTopic reports whether an MQTT-style pattern matches a topic.
+func MatchTopic(pattern, topic string) (bool, error) {
+	levels, err := validatePattern(pattern)
+	if err != nil {
+		return false, err
+	}
+	if err := validateTopic(topic); err != nil {
+		return false, err
+	}
+	return matchLevels(levels, strings.Split(topic, "/")), nil
+}
+
+func matchLevels(pattern, topic []string) bool {
+	for i, p := range pattern {
+		if p == "#" {
+			return true
+		}
+		if i >= len(topic) {
+			return false
+		}
+		if p != "+" && p != topic[i] {
+			return false
+		}
+	}
+	return len(pattern) == len(topic)
+}

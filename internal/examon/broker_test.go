@@ -1,0 +1,182 @@
+package examon
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPublishSubscribe(t *testing.T) {
+	b := NewBroker()
+	var got []string
+	sub, err := b.Subscribe("org/unibo/#", func(topic, payload string) {
+		got = append(got, topic+"="+payload)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("org/unibo/cluster/montecimone/x", "1;2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("org/other/cluster/x/y", "3;4"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !strings.HasPrefix(got[0], "org/unibo/") {
+		t.Errorf("got = %v", got)
+	}
+	b.Unsubscribe(sub)
+	if err := b.Publish("org/unibo/z", "5;6"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Error("unsubscribed callback fired")
+	}
+	if b.Published() != 3 {
+		t.Errorf("published = %d", b.Published())
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	b := NewBroker()
+	if _, err := b.Subscribe("", func(string, string) {}); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := b.Subscribe("a/#/b", func(string, string) {}); err == nil {
+		t.Error("non-final # accepted")
+	}
+	if _, err := b.Subscribe("a/b+c", func(string, string) {}); err == nil {
+		t.Error("embedded wildcard accepted")
+	}
+	if _, err := b.Subscribe("a/+", nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	b := NewBroker()
+	if err := b.Publish("", "x"); err == nil {
+		t.Error("empty topic accepted")
+	}
+	if err := b.Publish("a/+/b", "x"); err == nil {
+		t.Error("wildcard topic accepted")
+	}
+}
+
+func TestMatchTopic(t *testing.T) {
+	tests := []struct {
+		pattern, topic string
+		want           bool
+	}{
+		{"a/b/c", "a/b/c", true},
+		{"a/b/c", "a/b", false},
+		{"a/b", "a/b/c", false},
+		{"a/+/c", "a/b/c", true},
+		{"a/+/c", "a/b/d", false},
+		{"a/#", "a/b/c/d", true},
+		{"a/#", "a", true}, // MQTT: '#' also matches the parent level itself
+		{"+/+", "a/b", true},
+		{"#", "anything/at/all", true},
+		{"org/+/cluster/+/node/+/plugin/pmu_pub/#", "org/unibo/cluster/montecimone/node/mc01/plugin/pmu_pub/chnl/data/core/0/instret", true},
+		{"org/+/cluster/+/node/+/plugin/pmu_pub/#", "org/unibo/cluster/montecimone/node/mc01/plugin/dstat_pub/chnl/data/load_avg.1m", false},
+	}
+	for _, tt := range tests {
+		got, err := MatchTopic(tt.pattern, tt.topic)
+		if err != nil {
+			t.Errorf("MatchTopic(%q, %q): %v", tt.pattern, tt.topic, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("MatchTopic(%q, %q) = %v, want %v", tt.pattern, tt.topic, got, tt.want)
+		}
+	}
+}
+
+func TestMatchTopicExactProperty(t *testing.T) {
+	// A topic always matches itself as a pattern (no wildcards).
+	prop := func(parts []uint8) bool {
+		if len(parts) == 0 {
+			return true
+		}
+		levels := make([]string, 0, len(parts))
+		for _, p := range parts {
+			levels = append(levels, string(rune('a'+p%26)))
+		}
+		topic := strings.Join(levels, "/")
+		ok, err := MatchTopic(topic, topic)
+		return err == nil && ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableIITopicFormats(t *testing.T) {
+	// Table II defines the exact topic shapes for both plugins.
+	pmu := PMUTopic("unibo", "montecimone", "mc03", 2, "instret")
+	want := "org/unibo/cluster/montecimone/node/mc03/plugin/pmu_pub/chnl/data/core/2/instret"
+	if pmu != want {
+		t.Errorf("pmu topic = %q, want %q", pmu, want)
+	}
+	stats := StatsTopic("unibo", "montecimone", "mc03", "load_avg.1m")
+	want = "org/unibo/cluster/montecimone/node/mc03/plugin/dstat_pub/chnl/data/load_avg.1m"
+	if stats != want {
+		t.Errorf("stats topic = %q, want %q", stats, want)
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	p := FormatPayload(3075.5, 12.25)
+	if p != "3075.5;12.25" {
+		t.Errorf("payload = %q", p)
+	}
+	v, ts, err := ParsePayload(p)
+	if err != nil || v != 3075.5 || ts != 12.25 {
+		t.Errorf("parse = %v, %v, %v", v, ts, err)
+	}
+	for _, bad := range []string{"", "1", "x;2", "1;y"} {
+		if _, _, err := ParsePayload(bad); err == nil {
+			t.Errorf("payload %q accepted", bad)
+		}
+	}
+}
+
+func TestParseTopic(t *testing.T) {
+	tags, err := ParseTopic("org/unibo/cluster/montecimone/node/mc05/plugin/pmu_pub/chnl/data/core/3/cycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Tags{Org: "unibo", Cluster: "montecimone", Node: "mc05", Plugin: "pmu_pub", Core: 3, Metric: "cycle"}
+	if tags != want {
+		t.Errorf("tags = %+v, want %+v", tags, want)
+	}
+	tags, err = ParseTopic("org/unibo/cluster/montecimone/node/mc05/plugin/dstat_pub/chnl/data/temperature.cpu_temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tags.Core != -1 || tags.Metric != "temperature.cpu_temp" {
+		t.Errorf("tags = %+v", tags)
+	}
+	for _, bad := range []string{
+		"x/y",
+		"org/u/cluster/c/node/n/plugin/p/chnl/data",
+		"org/u/cluster/c/node/n/plugin/p/other/data/m",
+		"org/u/cluster/c/node/n/plugin/p/chnl/data/core/notanint/m",
+	} {
+		if _, err := ParseTopic(bad); err == nil {
+			t.Errorf("topic %q accepted", bad)
+		}
+	}
+}
+
+func TestPayloadQuickRoundTripProperty(t *testing.T) {
+	prop := func(v float64, ts float64) bool {
+		got, gotTS, err := ParsePayload(FormatPayload(v, ts))
+		if err != nil {
+			return false
+		}
+		return (got == v || (got != got && v != v)) && (gotTS == ts || (gotTS != gotTS && ts != ts))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package examon
+
+import (
+	"fmt"
+	"math"
+)
+
+// Heatmap is a nodes x time-bins matrix of aggregated metric values, the
+// structure behind the paper's Fig. 5 (instructions/s, network traffic and
+// memory usage per node during the full-machine HPL run).
+type Heatmap struct {
+	// Nodes are the row labels in row order.
+	Nodes []string
+	// BinStart is the first bin's start time; BinWidth the bin size.
+	BinStart, BinWidth float64
+	// Values[r][c] is the mean value of row r in bin c; NaN marks bins
+	// without samples.
+	Values [][]float64
+}
+
+// Bins returns the number of time bins.
+func (h *Heatmap) Bins() int {
+	if len(h.Values) == 0 {
+		return 0
+	}
+	return len(h.Values[0])
+}
+
+// HeatmapOptions configure BuildHeatmap.
+type HeatmapOptions struct {
+	// Plugin and Metric select the series.
+	Plugin string
+	Metric string
+	// Rate differences cumulative counters before binning (used for
+	// INSTRET and the cumulative net byte counters).
+	Rate bool
+	// SumCores adds per-core series together per node (pmu_pub metrics).
+	SumCores bool
+	// From, To and BinWidth control the time axis.
+	From, To, BinWidth float64
+}
+
+// BuildHeatmap aggregates TSDB data into a heatmap over the given nodes.
+func BuildHeatmap(db *TSDB, nodes []string, opts HeatmapOptions) (*Heatmap, error) {
+	if db == nil {
+		return nil, fmt.Errorf("examon: heatmap needs a tsdb")
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("examon: heatmap needs nodes")
+	}
+	if opts.BinWidth <= 0 {
+		return nil, fmt.Errorf("examon: bin width must be positive, got %v", opts.BinWidth)
+	}
+	if opts.To <= opts.From {
+		return nil, fmt.Errorf("examon: empty time range [%v,%v)", opts.From, opts.To)
+	}
+	bins := int(math.Ceil((opts.To - opts.From) / opts.BinWidth))
+	hm := &Heatmap{
+		Nodes:    append([]string(nil), nodes...),
+		BinStart: opts.From,
+		BinWidth: opts.BinWidth,
+		Values:   make([][]float64, len(nodes)),
+	}
+	for r, nodeName := range nodes {
+		sums := make([]float64, bins)
+		counts := make([]int, bins)
+		// Rate series need the preceding sample, so query unbounded and
+		// filter during binning.
+		series := db.Query(Filter{Node: nodeName, Plugin: opts.Plugin, Metric: opts.Metric})
+		for _, s := range series {
+			pts := s.Points
+			if opts.Rate {
+				pts = Rate(s).Points
+			}
+			for _, p := range pts {
+				if p.T < opts.From || p.T >= opts.To {
+					continue
+				}
+				bin := int((p.T - opts.From) / opts.BinWidth)
+				if bin < 0 || bin >= bins {
+					continue
+				}
+				sums[bin] += p.V
+				counts[bin]++
+			}
+		}
+		row := make([]float64, bins)
+		perBinSeries := len(series)
+		if perBinSeries == 0 {
+			perBinSeries = 1
+		}
+		for c := range row {
+			switch {
+			case counts[c] == 0:
+				row[c] = math.NaN()
+			case opts.SumCores:
+				// Average over samples within the bin, summed across the
+				// per-core series: mean per series times series count.
+				row[c] = sums[c] / float64(counts[c]) * float64(perBinSeries)
+			default:
+				row[c] = sums[c] / float64(counts[c])
+			}
+		}
+		hm.Values[r] = row
+	}
+	return hm, nil
+}
+
+// MaxValue returns the largest non-NaN cell (0 when all cells are empty).
+func (h *Heatmap) MaxValue() float64 {
+	maxV := 0.0
+	for _, row := range h.Values {
+		for _, v := range row {
+			if !math.IsNaN(v) && v > maxV {
+				maxV = v
+			}
+		}
+	}
+	return maxV
+}
+
+// RowMean returns the mean of a row's non-NaN cells.
+func (h *Heatmap) RowMean(r int) float64 {
+	sum, n := 0.0, 0
+	for _, v := range h.Values[r] {
+		if !math.IsNaN(v) {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

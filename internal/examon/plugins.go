@@ -1,0 +1,196 @@
+package examon
+
+import (
+	"fmt"
+
+	"montecimone/internal/node"
+	"montecimone/internal/perf"
+	"montecimone/internal/sim"
+)
+
+// Sampling rates from Section IV-B: pmu_pub samples the performance
+// counters at 2 Hz; stats_pub samples the OS statistics at 0.2 Hz.
+const (
+	PMUPubPeriod   = 0.5
+	StatsPubPeriod = 5.0
+)
+
+// PMUPub is the per-node plugin publishing the hardware performance
+// counters exposed by perf_events. In the deployed kernel only INSTRET and
+// CYCLE are available; the programmable HPM counters appear once the
+// authors' U-Boot patch is applied.
+type PMUPub struct {
+	broker  *Broker
+	node    *node.Node
+	org     string
+	cluster string
+
+	ticker *sim.Ticker
+}
+
+// NewPMUPub builds the plugin for one node.
+func NewPMUPub(broker *Broker, nd *node.Node, org, cluster string) (*PMUPub, error) {
+	if broker == nil || nd == nil {
+		return nil, fmt.Errorf("examon: pmu_pub needs a broker and node")
+	}
+	if org == "" {
+		org = DefaultOrg
+	}
+	if cluster == "" {
+		cluster = DefaultCluster
+	}
+	return &PMUPub{broker: broker, node: nd, org: org, cluster: cluster}, nil
+}
+
+// Start begins sampling on the engine. Stop with Stop.
+func (p *PMUPub) Start(engine *sim.Engine) error {
+	if p.ticker != nil {
+		return fmt.Errorf("examon: pmu_pub already started on %s", p.node.Hostname())
+	}
+	tk, err := sim.NewTicker(engine, engine.Now()+PMUPubPeriod, PMUPubPeriod,
+		"examon.pmu_pub."+p.node.Hostname(), p.sample)
+	if err != nil {
+		return fmt.Errorf("examon: %w", err)
+	}
+	p.ticker = tk
+	return nil
+}
+
+// Stop halts sampling.
+func (p *PMUPub) Stop() {
+	if p.ticker != nil {
+		p.ticker.Stop()
+		p.ticker = nil
+	}
+}
+
+func (p *PMUPub) sample(now float64) {
+	// Bring the node model exactly to the sampling instant so counter
+	// reads are independent of tick-interleaving with the cluster's
+	// integration ticker (Step is monotone and idempotent at equal times).
+	p.node.Step(now)
+	if p.node.State() != node.StateRunning {
+		return
+	}
+	pmu := p.node.PMU()
+	events := append([]perf.Event(nil), perf.FixedEvents...)
+	if pmu.HPMEnabled() {
+		events = append(events, perf.ProgrammableEvents...)
+	}
+	for core := 0; core < pmu.Harts(); core++ {
+		for _, ev := range events {
+			v, err := pmu.Read(core, ev)
+			if err != nil {
+				continue // disabled counters silently absent, as on the real node
+			}
+			topic := PMUTopic(p.org, p.cluster, p.node.Hostname(), core, ev.String())
+			// Publish errors cannot occur for well-formed topics; the
+			// plugin drops the sample otherwise, like a QoS0 publisher.
+			_ = p.broker.Publish(topic, FormatPayload(float64(v), now))
+		}
+	}
+}
+
+// StatsPub is the per-node plugin collecting operating-system statistics
+// from procfs/sysfs (Table III lists its metric groups).
+type StatsPub struct {
+	broker  *Broker
+	node    *node.Node
+	org     string
+	cluster string
+
+	ticker *sim.Ticker
+}
+
+// NewStatsPub builds the plugin for one node.
+func NewStatsPub(broker *Broker, nd *node.Node, org, cluster string) (*StatsPub, error) {
+	if broker == nil || nd == nil {
+		return nil, fmt.Errorf("examon: stats_pub needs a broker and node")
+	}
+	if org == "" {
+		org = DefaultOrg
+	}
+	if cluster == "" {
+		cluster = DefaultCluster
+	}
+	return &StatsPub{broker: broker, node: nd, org: org, cluster: cluster}, nil
+}
+
+// Start begins sampling on the engine.
+func (s *StatsPub) Start(engine *sim.Engine) error {
+	if s.ticker != nil {
+		return fmt.Errorf("examon: stats_pub already started on %s", s.node.Hostname())
+	}
+	tk, err := sim.NewTicker(engine, engine.Now()+StatsPubPeriod, StatsPubPeriod,
+		"examon.stats_pub."+s.node.Hostname(), s.sample)
+	if err != nil {
+		return fmt.Errorf("examon: %w", err)
+	}
+	s.ticker = tk
+	return nil
+}
+
+// Stop halts sampling.
+func (s *StatsPub) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+}
+
+// StatsMetrics lists the Table III metric names in table order.
+var StatsMetrics = []string{
+	"load_avg.1m", "load_avg.5m", "load_avg.15m",
+	"io_total.read", "io_total.writ",
+	"procs.run", "procs.blk", "procs.new",
+	"memory_usage.used", "memory_usage.free", "memory_usage.buff", "memory_usage.cach",
+	"paging.in", "paging.out",
+	"dsk_total.read", "dsk_total.writ",
+	"system.int", "system.csw",
+	"total_cpu_usage.usr", "total_cpu_usage.sys", "total_cpu_usage.idl",
+	"total_cpu_usage.wai", "total_cpu_usage.stl",
+	"net_total.recv", "net_total.send",
+	"temperature.mb_temp", "temperature.cpu_temp", "temperature.nvme_temp",
+}
+
+func (s *StatsPub) sample(now float64) {
+	s.node.Step(now) // sync to the sampling instant (see PMUPub.sample)
+	if s.node.State() != node.StateRunning {
+		return
+	}
+	st := s.node.Stats()
+	values := map[string]float64{
+		"load_avg.1m":           st.Load1,
+		"load_avg.5m":           st.Load5,
+		"load_avg.15m":          st.Load15,
+		"io_total.read":         st.IORead,
+		"io_total.writ":         st.IOWrite,
+		"procs.run":             st.ProcsRun,
+		"procs.blk":             st.ProcsBlk,
+		"procs.new":             st.ProcsNew,
+		"memory_usage.used":     st.MemUsed,
+		"memory_usage.free":     st.MemFree,
+		"memory_usage.buff":     st.MemBuff,
+		"memory_usage.cach":     st.MemCach,
+		"paging.in":             st.PagingIn,
+		"paging.out":            st.PagingOut,
+		"dsk_total.read":        st.DiskRead,
+		"dsk_total.writ":        st.DiskWrite,
+		"system.int":            st.SystemInt,
+		"system.csw":            st.SystemCsw,
+		"total_cpu_usage.usr":   st.CPUUsr,
+		"total_cpu_usage.sys":   st.CPUSys,
+		"total_cpu_usage.idl":   st.CPUIdl,
+		"total_cpu_usage.wai":   st.CPUWai,
+		"total_cpu_usage.stl":   st.CPUStl,
+		"net_total.recv":        st.NetRecv,
+		"net_total.send":        st.NetSend,
+		"temperature.mb_temp":   st.TempMB,
+		"temperature.cpu_temp":  st.TempCPU,
+		"temperature.nvme_temp": st.TempNVMe,
+	}
+	for _, metric := range StatsMetrics {
+		topic := StatsTopic(s.org, s.cluster, s.node.Hostname(), metric)
+		_ = s.broker.Publish(topic, FormatPayload(values[metric], now))
+	}
+}

@@ -1,0 +1,112 @@
+package examon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// RESTServer exposes the TSDB through the dedicated RESTful API over HTTP
+// mentioned in Section IV-B (batch analysis scripts query the database
+// through it).
+type RESTServer struct {
+	db  *TSDB
+	mux *http.ServeMux
+}
+
+// NewRESTServer builds the HTTP handler over a store.
+func NewRESTServer(db *TSDB) (*RESTServer, error) {
+	if db == nil {
+		return nil, fmt.Errorf("examon: rest server needs a tsdb")
+	}
+	s := &RESTServer{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/v1/series", s.handleSeries)
+	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *RESTServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// seriesResponse is the JSON shape of a query result.
+type seriesResponse struct {
+	Node   string       `json:"node"`
+	Plugin string       `json:"plugin"`
+	Core   int          `json:"core"`
+	Metric string       `json:"metric"`
+	Points [][2]float64 `json:"points"`
+}
+
+func (s *RESTServer) handleSeries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, map[string]any{"series": s.db.Keys()})
+}
+
+func (s *RESTServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	f := Filter{
+		Node:   q.Get("node"),
+		Plugin: q.Get("plugin"),
+		Metric: q.Get("metric"),
+	}
+	if coreStr := q.Get("core"); coreStr != "" {
+		core, err := strconv.Atoi(coreStr)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad core %q", coreStr), http.StatusBadRequest)
+			return
+		}
+		f.Core = &core
+	}
+	var err error
+	if f.From, err = parseTimeParam(q.Get("from")); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if f.To, err = parseTimeParam(q.Get("to")); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var resp []seriesResponse
+	for _, series := range s.db.Query(f) {
+		sr := seriesResponse{
+			Node:   series.Tags.Node,
+			Plugin: series.Tags.Plugin,
+			Core:   series.Tags.Core,
+			Metric: series.Tags.Metric,
+		}
+		for _, p := range series.Points {
+			sr.Points = append(sr.Points, [2]float64{p.T, p.V})
+		}
+		resp = append(resp, sr)
+	}
+	writeJSON(w, map[string]any{"series": resp})
+}
+
+func parseTimeParam(s string) (float64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad time parameter %q", s)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; headers already sent.
+		return
+	}
+}

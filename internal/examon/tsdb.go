@@ -1,0 +1,165 @@
+package examon
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Point is one stored sample.
+type Point struct {
+	// T is the sample's virtual timestamp (seconds); V the value.
+	T, V float64
+}
+
+// Series is one stored metric stream with its identifying tags.
+type Series struct {
+	// Tags identify the stream.
+	Tags Tags
+	// Points are the samples in arrival order.
+	Points []Point
+}
+
+// Key renders the canonical series key.
+func (s *Series) Key() string { return seriesKey(s.Tags) }
+
+func seriesKey(t Tags) string {
+	if t.Core >= 0 {
+		return fmt.Sprintf("%s/%s/core%d/%s", t.Node, t.Plugin, t.Core, t.Metric)
+	}
+	return fmt.Sprintf("%s/%s/%s", t.Node, t.Plugin, t.Metric)
+}
+
+// TSDB is the storage backend installed on the master node. It subscribes
+// to the broker's data topics and answers range queries (the paper's stack
+// exposes these through Grafana and a REST API). Safe for concurrent use.
+type TSDB struct {
+	mu     sync.RWMutex
+	series map[string]*Series
+	order  []string
+}
+
+// NewTSDB returns an empty store.
+func NewTSDB() *TSDB {
+	return &TSDB{series: make(map[string]*Series)}
+}
+
+// Attach subscribes the store to every ExaMon data topic on the broker.
+func (db *TSDB) Attach(broker *Broker) (*Subscription, error) {
+	if broker == nil {
+		return nil, fmt.Errorf("examon: tsdb needs a broker")
+	}
+	return broker.Subscribe("org/#", func(topic, payload string) {
+		tags, err := ParseTopic(topic)
+		if err != nil {
+			return // non-data topics are not stored
+		}
+		value, ts, err := ParsePayload(payload)
+		if err != nil {
+			return
+		}
+		db.Insert(tags, ts, value)
+	})
+}
+
+// Insert stores one sample.
+func (db *TSDB) Insert(tags Tags, t, v float64) {
+	key := seriesKey(tags)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.series[key]
+	if !ok {
+		s = &Series{Tags: tags}
+		db.series[key] = s
+		db.order = append(db.order, key)
+	}
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Filter selects series for a query; zero fields match everything.
+type Filter struct {
+	// Node, Plugin and Metric match tag values exactly when non-empty.
+	Node   string
+	Plugin string
+	Metric string
+	// Core matches the hart id; nil matches any.
+	Core *int
+	// From and To bound timestamps (inclusive from, exclusive to); zero
+	// To means unbounded.
+	From, To float64
+}
+
+func (f Filter) matches(t Tags) bool {
+	if f.Node != "" && f.Node != t.Node {
+		return false
+	}
+	if f.Plugin != "" && f.Plugin != t.Plugin {
+		return false
+	}
+	if f.Metric != "" && f.Metric != t.Metric {
+		return false
+	}
+	if f.Core != nil && *f.Core != t.Core {
+		return false
+	}
+	return true
+}
+
+// Query returns copies of the matching series, filtered to the time range,
+// in insertion order.
+func (db *TSDB) Query(f Filter) []Series {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Series
+	for _, key := range db.order {
+		s := db.series[key]
+		if !f.matches(s.Tags) {
+			continue
+		}
+		cp := Series{Tags: s.Tags}
+		for _, p := range s.Points {
+			if p.T < f.From {
+				continue
+			}
+			if f.To != 0 && p.T >= f.To {
+				continue
+			}
+			cp.Points = append(cp.Points, p)
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// SeriesCount returns the number of stored series.
+func (db *TSDB) SeriesCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.series)
+}
+
+// Keys lists all series keys, sorted.
+func (db *TSDB) Keys() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	sort.Strings(out)
+	return out
+}
+
+// Rate converts a cumulative-counter series into a rate series by
+// differencing successive points (the Fig. 5 instruction/s heatmap is
+// built from the cumulative INSTRET counter this way).
+func Rate(s Series) Series {
+	out := Series{Tags: s.Tags}
+	for i := 1; i < len(s.Points); i++ {
+		dt := s.Points[i].T - s.Points[i-1].T
+		if dt <= 0 {
+			continue
+		}
+		dv := s.Points[i].V - s.Points[i-1].V
+		out.Points = append(out.Points, Point{T: s.Points[i].T, V: dv / dt})
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package hpl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Factor performs the blocked, right-looking LU factorisation with partial
+// pivoting that HPL implements: A = P * L * U in place, with block size nb.
+// It returns the global pivot vector (pivots[k] is the row swapped into
+// row k at elimination step k).
+func Factor(a *Matrix, nb int) ([]int, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("hpl: factor needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if nb <= 0 {
+		return nil, fmt.Errorf("hpl: block size must be positive, got %d", nb)
+	}
+	n := a.Rows
+	pivots := make([]int, n)
+	for k := 0; k < n; k += nb {
+		jb := min(nb, n-k)
+		// Factor the current panel A[k:n, k:k+jb].
+		panel := a.Sub(k, k, n-k, jb)
+		panelPiv, err := Dgetf2(panel)
+		if err != nil {
+			return nil, fmt.Errorf("hpl: panel at %d: %w", k, err)
+		}
+		for j, p := range panelPiv {
+			pivots[k+j] = k + p
+		}
+		// Apply the panel's pivots to the columns left and right of it.
+		if k > 0 {
+			left := a.Sub(0, 0, n, k)
+			Dlaswp(left, k, panelPiv)
+		}
+		if k+jb < n {
+			right := a.Sub(0, k+jb, n, n-k-jb)
+			Dlaswp(right, k, panelPiv)
+
+			// U block: solve L11 * U12 = A12.
+			l11 := a.Sub(k, k, jb, jb)
+			u12 := a.Sub(k, k+jb, jb, n-k-jb)
+			if err := DtrsmLowerUnit(l11, u12); err != nil {
+				return nil, fmt.Errorf("hpl: trsm at %d: %w", k, err)
+			}
+			// Trailing update: A22 -= L21 * U12.
+			if k+jb < n {
+				l21 := a.Sub(k+jb, k, n-k-jb, jb)
+				a22 := a.Sub(k+jb, k+jb, n-k-jb, n-k-jb)
+				if err := Dgemm(a22, l21, u12); err != nil {
+					return nil, fmt.Errorf("hpl: update at %d: %w", k, err)
+				}
+			}
+		}
+	}
+	return pivots, nil
+}
+
+// Solve uses a factored matrix (output of Factor) and its pivots to solve
+// A x = b; b is overwritten with the permuted right-hand side internally
+// and the solution is returned.
+func Solve(lu *Matrix, pivots []int, b []float64) ([]float64, error) {
+	n := lu.Rows
+	if lu.Cols != n {
+		return nil, fmt.Errorf("hpl: solve needs a square factor")
+	}
+	if len(b) != n || len(pivots) != n {
+		return nil, fmt.Errorf("hpl: solve size mismatch: n=%d, b=%d, pivots=%d", n, len(b), len(pivots))
+	}
+	x := append([]float64(nil), b...)
+	// Apply row exchanges.
+	for k := 0; k < n; k++ {
+		if p := pivots[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit lower triangular L.
+	for i := 1; i < n; i++ {
+		row := lu.Data[i*lu.Stride:]
+		sum := x[i]
+		for j := 0; j < i; j++ {
+			sum -= row[j] * x[j]
+		}
+		x[i] = sum
+	}
+	// Back substitution with upper triangular U.
+	for i := n - 1; i >= 0; i-- {
+		row := lu.Data[i*lu.Stride:]
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= row[j] * x[j]
+		}
+		if row[i] == 0 {
+			return nil, fmt.Errorf("hpl: zero diagonal at %d", i)
+		}
+		x[i] = sum / row[i]
+	}
+	return x, nil
+}
+
+// RandomSystem builds the HPL test problem: a uniformly random matrix in
+// [-0.5, 0.5) and a right-hand side, deterministically from a seed.
+func RandomSystem(n int, seed int64) (*Matrix, []float64, error) {
+	a, err := NewMatrix(n, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	for i := range a.Data {
+		a.Data[i] = r.Float64() - 0.5
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = r.Float64() - 0.5
+	}
+	return a, b, nil
+}
+
+// Residual computes the scaled HPL residual
+// ||Ax-b||_inf / (eps * (||A||_inf * ||x||_inf + ||b||_inf) * n),
+// which HPL requires to be O(1) for a run to validate.
+func Residual(a *Matrix, x, b []float64) (float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(x) != n || len(b) != n {
+		return 0, fmt.Errorf("hpl: residual size mismatch")
+	}
+	var resInf, aInf, xInf, bInf float64
+	for i := 0; i < n; i++ {
+		row := a.Data[i*a.Stride : i*a.Stride+n]
+		sum := -b[i]
+		rowSum := 0.0
+		for j, v := range row {
+			sum += v * x[j]
+			rowSum += math.Abs(v)
+		}
+		resInf = math.Max(resInf, math.Abs(sum))
+		aInf = math.Max(aInf, rowSum)
+		bInf = math.Max(bInf, math.Abs(b[i]))
+	}
+	for _, v := range x {
+		xInf = math.Max(xInf, math.Abs(v))
+	}
+	denom := 2.220446049250313e-16 * (aInf*xInf + bInf) * float64(n)
+	if denom == 0 {
+		return 0, fmt.Errorf("hpl: degenerate residual denominator")
+	}
+	return resInf / denom, nil
+}
+
+// FactorFlops returns the floating-point operations HPL credits a run
+// with: 2/3 n^3 + 2 n^2.
+func FactorFlops(n int) float64 {
+	fn := float64(n)
+	return 2.0/3.0*fn*fn*fn + 2*fn*fn
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,213 @@
+package hpl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDgemm(t *testing.T) {
+	// C (2x2) -= A (2x3) * B (3x2).
+	a, _ := NewMatrix(2, 3)
+	b, _ := NewMatrix(3, 2)
+	c, _ := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	copy(c.Data, []float64{100, 100, 100, 100})
+	if err := Dgemm(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{100 - 58, 100 - 64, 100 - 139, 100 - 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Errorf("c[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestDgemmShapeMismatch(t *testing.T) {
+	a, _ := NewMatrix(2, 3)
+	b, _ := NewMatrix(2, 2) // wrong inner dimension
+	c, _ := NewMatrix(2, 2)
+	if err := Dgemm(c, a, b); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestDtrsmLowerUnit(t *testing.T) {
+	// L = [[1,0],[2,1]], B = [[1,2],[3,4]]; X solves L X = B.
+	l, _ := NewMatrix(2, 2)
+	copy(l.Data, []float64{1, 0, 2, 1})
+	b, _ := NewMatrix(2, 2)
+	copy(b.Data, []float64{1, 2, 3, 4})
+	if err := DtrsmLowerUnit(l, b); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 1, 0} // row2: [3,4] - 2*[1,2] = [1,0]
+	for i, w := range want {
+		if b.Data[i] != w {
+			t.Errorf("x[%d] = %v, want %v", i, b.Data[i], w)
+		}
+	}
+	notSquare, _ := NewMatrix(2, 3)
+	if err := DtrsmLowerUnit(notSquare, b); err == nil {
+		t.Error("non-square L accepted")
+	}
+}
+
+func TestDgetf2KnownPivot(t *testing.T) {
+	// Column [1; 4; 2]: pivot row must be 1 (value 4).
+	a, _ := NewMatrix(3, 1)
+	copy(a.Data, []float64{1, 4, 2})
+	piv, err := Dgetf2(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if piv[0] != 1 {
+		t.Errorf("pivot = %d, want 1", piv[0])
+	}
+	// Multipliers below the pivot: 1/4 and 2/4.
+	if a.Data[0] != 4 || a.Data[1] != 0.25 || a.Data[2] != 0.5 {
+		t.Errorf("panel = %v", a.Data)
+	}
+}
+
+func TestDgetf2Singular(t *testing.T) {
+	a, _ := NewMatrix(2, 2)
+	copy(a.Data, []float64{0, 1, 0, 2}) // zero first column
+	if _, err := Dgetf2(a); err == nil {
+		t.Error("singular panel accepted")
+	}
+	wide, _ := NewMatrix(1, 2)
+	if _, err := Dgetf2(wide); err == nil {
+		t.Error("wide panel accepted")
+	}
+}
+
+func TestFactorSolveResidual(t *testing.T) {
+	// The HPL validation criterion: scaled residual O(1).
+	for _, tc := range []struct{ n, nb int }{
+		{16, 4}, {64, 8}, {128, 32}, {200, 48}, {256, 192},
+	} {
+		a, b, err := RandomSystem(tc.n, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lu := a.Clone()
+		piv, err := Factor(lu, tc.nb)
+		if err != nil {
+			t.Fatalf("n=%d nb=%d: %v", tc.n, tc.nb, err)
+		}
+		x, err := Solve(lu, piv, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Residual(a, x, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res > 16 {
+			t.Errorf("n=%d nb=%d: scaled residual %v too large", tc.n, tc.nb, res)
+		}
+	}
+}
+
+func TestFactorMatchesUnblocked(t *testing.T) {
+	// Blocked factorisation must agree with nb=n (single panel) up to
+	// rounding.
+	n := 96
+	a1, _, err := RandomSystem(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := a1.Clone()
+	piv1, err := Factor(a1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piv2, err := Factor(a2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range piv1 {
+		if piv1[i] != piv2[i] {
+			t.Fatalf("pivot %d differs: %d vs %d", i, piv1[i], piv2[i])
+		}
+	}
+	for i := range a1.Data {
+		if math.Abs(a1.Data[i]-a2.Data[i]) > 1e-9*math.Max(1, math.Abs(a2.Data[i])) {
+			t.Fatalf("factor element %d differs: %v vs %v", i, a1.Data[i], a2.Data[i])
+		}
+	}
+}
+
+func TestFactorValidation(t *testing.T) {
+	a, _ := NewMatrix(4, 5)
+	if _, err := Factor(a, 2); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+	sq, _ := NewMatrix(4, 4)
+	if _, err := Factor(sq, 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	a, b, _ := RandomSystem(8, 1)
+	lu := a.Clone()
+	piv, err := Factor(lu, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(lu, piv, b[:4]); err == nil {
+		t.Error("short rhs accepted")
+	}
+	if _, err := Solve(lu, piv[:4], b); err == nil {
+		t.Error("short pivots accepted")
+	}
+}
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(-1, 2); err == nil {
+		t.Error("negative rows accepted")
+	}
+}
+
+func TestFactorFlops(t *testing.T) {
+	// N=40704: 2/3 N^3 + 2 N^2 = 4.496e13.
+	got := FactorFlops(40704)
+	want := 2.0/3.0*math.Pow(40704, 3) + 2*math.Pow(40704, 2)
+	if got != want {
+		t.Errorf("flops = %v, want %v", got, want)
+	}
+}
+
+// Property: for random well-conditioned systems of any small size and any
+// block size, the factorisation validates by the HPL residual criterion.
+func TestFactorResidualProperty(t *testing.T) {
+	prop := func(seed int64, nRaw, nbRaw uint8) bool {
+		n := 8 + int(nRaw)%120
+		nb := 1 + int(nbRaw)%(n)
+		a, b, err := RandomSystem(n, seed)
+		if err != nil {
+			return false
+		}
+		lu := a.Clone()
+		piv, err := Factor(lu, nb)
+		if err != nil {
+			return false
+		}
+		x, err := Solve(lu, piv, b)
+		if err != nil {
+			return false
+		}
+		res, err := Residual(a, x, b)
+		if err != nil {
+			return false
+		}
+		return res < 16
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package mpi
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"montecimone/internal/netsim"
+)
+
+// runPingPong executes the microbenchmark over a fabric with one rank per
+// node and returns rank 0's result.
+func runPingPong(t *testing.T, link netsim.Link, bytes float64, iters int) PingPongResult {
+	t.Helper()
+	fabric, err := netsim.NewFabric(2, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, err := NewWorld(fabric, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var res PingPongResult
+	err = world.Run(func(p *Proc) error {
+		r, err := PingPong(p, bytes, iters)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			mu.Lock()
+			res = r
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPingPongSmallMessageLatency(t *testing.T) {
+	// A 1-byte ping-pong measures the stack latency: link latency plus
+	// the per-message software overhead.
+	res := runPingPong(t, netsim.GigabitEthernet(), 1, 100)
+	wantFloor := 45e-6 // wire latency
+	if res.LatencySec < wantFloor || res.LatencySec > wantFloor*1.2 {
+		t.Errorf("one-way latency = %v, want ~%v", res.LatencySec, wantFloor)
+	}
+}
+
+func TestPingPongLargeMessageBandwidth(t *testing.T) {
+	// A large ping-pong converges to the link payload bandwidth.
+	res := runPingPong(t, netsim.GigabitEthernet(), 8e6, 20)
+	link := netsim.GigabitEthernet()
+	if math.Abs(res.BandwidthBps-link.BandwidthBps)/link.BandwidthBps > 0.02 {
+		t.Errorf("bandwidth = %.1f MB/s, want ~%.1f", res.BandwidthBps/1e6, link.BandwidthBps/1e6)
+	}
+}
+
+func TestPingPongInfinibandMuchFaster(t *testing.T) {
+	gbe := runPingPong(t, netsim.GigabitEthernet(), 1, 50)
+	ib := runPingPong(t, netsim.InfinibandFDRWorking(), 1, 50)
+	if ib.LatencySec >= gbe.LatencySec/5 {
+		t.Errorf("IB latency %v not well below GbE %v", ib.LatencySec, gbe.LatencySec)
+	}
+}
+
+func TestPingPongValidation(t *testing.T) {
+	fabric, _ := netsim.NewFabric(2, netsim.GigabitEthernet())
+	world, err := NewWorld(fabric, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = world.Run(func(p *Proc) error {
+		if p.Rank() != 0 {
+			// Rank 1 must still participate in the valid exchange below.
+			return nil
+		}
+		if _, err := PingPong(p, -1, 10); err == nil {
+			t.Error("negative size accepted")
+		}
+		if _, err := PingPong(p, 10, 0); err == nil {
+			t.Error("zero iterations accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewWorld(fabric, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = single.Run(func(p *Proc) error {
+		if _, err := PingPong(p, 8, 1); err == nil {
+			t.Error("single-rank world accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPingPongThirdRankIdles(t *testing.T) {
+	fabric, _ := netsim.NewFabric(3, netsim.GigabitEthernet())
+	world, err := NewWorld(fabric, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = world.Run(func(p *Proc) error {
+		res, err := PingPong(p, 1024, 10)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 2 && (res.LatencySec != 0 || res.Bytes != 0) {
+			t.Errorf("bystander rank got result %+v", res)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFabricValidation(t *testing.T) {
+	if _, err := NewFabric(0, GigabitEthernet()); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewFabric(4, Link{}); err == nil {
+		t.Error("zero-bandwidth link accepted")
+	}
+}
+
+func TestTransferTimeInterNode(t *testing.T) {
+	f, err := NewFabric(8, GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 117.5 MB at 117.5 MB/s = 1 s + 45 us latency.
+	got, err := f.TransferTime(0, 1, 117.5e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + 45e-6
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("transfer = %v, want %v", got, want)
+	}
+}
+
+func TestTransferTimeSharing(t *testing.T) {
+	f, _ := NewFabric(8, GigabitEthernet())
+	solo, _ := f.TransferTime(0, 1, 1e6, 1)
+	shared, _ := f.TransferTime(0, 1, 1e6, 4)
+	// Four ranks per node contend for the single NIC.
+	soloSer := solo - 45e-6
+	sharedSer := shared - 45e-6
+	if math.Abs(sharedSer-4*soloSer) > 1e-12 {
+		t.Errorf("shared serialisation %v, want 4x solo %v", sharedSer, soloSer)
+	}
+	below, _ := f.TransferTime(0, 1, 1e6, 0)
+	if below != solo {
+		t.Error("sharing below 1 must clamp to 1")
+	}
+}
+
+func TestTransferTimeIntraNode(t *testing.T) {
+	f, _ := NewFabric(8, GigabitEthernet())
+	local, err := f.TransferTime(3, 3, 2.4e9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local transfers ignore NIC sharing: ~1 s at 2.4 GB/s.
+	if math.Abs(local-(1.0+0.8e-6)) > 1e-9 {
+		t.Errorf("local transfer = %v", local)
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	f, _ := NewFabric(4, GigabitEthernet())
+	if _, err := f.TransferTime(-1, 0, 10, 1); err == nil {
+		t.Error("negative src accepted")
+	}
+	if _, err := f.TransferTime(0, 4, 10, 1); err == nil {
+		t.Error("out-of-range dst accepted")
+	}
+	if _, err := f.TransferTime(0, 1, -10, 1); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestIBFasterThanGbE(t *testing.T) {
+	gbe, _ := NewFabric(2, GigabitEthernet())
+	ib, _ := NewFabric(2, InfinibandFDRWorking())
+	tg, _ := gbe.TransferTime(0, 1, 10e6, 1)
+	ti, _ := ib.TransferTime(0, 1, 10e6, 1)
+	if ti >= tg/20 {
+		t.Errorf("IB %v not dramatically faster than GbE %v", ti, tg)
+	}
+}
+
+func TestHCARecognisedAndPing(t *testing.T) {
+	// Section III: the kernel recognises the HCA and mounts the Mellanox
+	// OFED module; an IB ping between two boards succeeds.
+	link := InfinibandFDR()
+	a, err := NewHCA(0, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHCA(1, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Recognised() {
+		t.Error("HCA not recognised")
+	}
+	if _, err := a.Ping(b); err == nil {
+		t.Error("ping before module load accepted")
+	}
+	if err := a.LoadModule(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadModule(); err != nil {
+		t.Fatal(err)
+	}
+	rtt, err := a.Ping(b)
+	if err != nil {
+		t.Fatalf("ib ping: %v", err)
+	}
+	if math.Abs(rtt-2*link.LatencySec) > 1e-12 {
+		t.Errorf("rtt = %v, want %v", rtt, 2*link.LatencySec)
+	}
+}
+
+func TestRDMAUnsupportedOnPaperStack(t *testing.T) {
+	// Section III: RDMA capabilities unusable due to software-stack and
+	// kernel-driver incompatibilities.
+	a, _ := NewHCA(0, InfinibandFDR())
+	b, _ := NewHCA(1, InfinibandFDR())
+	_ = a.LoadModule()
+	_ = b.LoadModule()
+	if _, err := a.RDMAWrite(b, 1e6); !errors.Is(err, ErrRDMAUnsupported) {
+		t.Errorf("RDMAWrite err = %v, want ErrRDMAUnsupported", err)
+	}
+	// The hypothetical fixed driver (ablation) works.
+	c, _ := NewHCA(0, InfinibandFDRWorking())
+	d, _ := NewHCA(1, InfinibandFDRWorking())
+	_ = c.LoadModule()
+	_ = d.LoadModule()
+	dur, err := c.RDMAWrite(d, 6.0e9)
+	if err != nil {
+		t.Fatalf("working RDMA: %v", err)
+	}
+	if math.Abs(dur-(1.0+1.2e-6)) > 1e-9 {
+		t.Errorf("RDMA duration = %v", dur)
+	}
+}
+
+func TestHCARequiresIBLink(t *testing.T) {
+	if _, err := NewHCA(0, GigabitEthernet()); err == nil {
+		t.Error("HCA on Ethernet link accepted")
+	}
+}
+
+func TestLinkKindString(t *testing.T) {
+	if KindGigabitEthernet.String() != "1GbE" || KindInfinibandFDR.String() != "IB-FDR" {
+		t.Error("link kind names")
+	}
+	if LinkKind(9).String() != "LinkKind(9)" {
+		t.Error("unknown link kind name")
+	}
+}
+
+// Property: transfer time is monotone in bytes and in sharing, and always
+// at least the link latency.
+func TestTransferMonotoneProperty(t *testing.T) {
+	f, _ := NewFabric(8, GigabitEthernet())
+	prop := func(bytesRaw uint32, sharingRaw uint8) bool {
+		bytes := float64(bytesRaw)
+		sharing := int(sharingRaw)%8 + 1
+		t1, err1 := f.TransferTime(0, 1, bytes, sharing)
+		t2, err2 := f.TransferTime(0, 1, bytes+1024, sharing)
+		t3, err3 := f.TransferTime(0, 1, bytes, sharing+1)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return t2 > t1 && t3 >= t1 && t1 >= 45e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,436 @@
+// Package node models one Monte Cimone compute node: a HiFive Unmatched
+// board (SiFive Freedom U740, 16 GiB DDR4, 1 TB NVMe, 1 GbE) inside an E4
+// RV007 blade slot, with its nine monitored power rails, three hwmon
+// temperature sensors, per-hart performance counters and the operating
+// system statistics collected by the ExaMon stats_pub plugin.
+//
+// The node follows the boot state machine of the paper's Fig. 4: power-on
+// (R1, supply only), bootloader (R2, PLL and clock tree active, DDR
+// training), then the operating system (R3), after which workloads modulate
+// the rail powers. A thermal trip at 107 degC halts the node, as observed
+// on node 7 during the first HPL runs.
+package node
+
+import (
+	"fmt"
+	"math"
+
+	"montecimone/internal/perf"
+	"montecimone/internal/power"
+	"montecimone/internal/soc"
+	"montecimone/internal/thermal"
+)
+
+// Boot timing relative to the power button (Fig. 4: power applied at ~4 s,
+// PLL activation at ~10 s, OS idle from ~40 s).
+const (
+	// R1Duration is the supply-only region before the PLL activates.
+	R1Duration = 6.0
+	// R2Duration is the bootloader region, ending with a ramp as the OS
+	// boots; RampDuration is the tail of R2 during which core power climbs
+	// from the R2 floor to the OS idle floor.
+	R2Duration   = 30.0
+	RampDuration = 10.0
+)
+
+// State is the node's life-cycle state.
+type State int
+
+// Node states.
+const (
+	StateOff State = iota + 1
+	StateBooting
+	StateRunning
+	StateHalted // thermal trip; requires power cycle
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateOff:
+		return "off"
+	case StateBooting:
+		return "booting"
+	case StateRunning:
+		return "running"
+	case StateHalted:
+		return "halted"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config describes one node.
+type Config struct {
+	// ID is the 1-based node number (1..8 on Monte Cimone).
+	ID int
+	// Slot is the 0-based blade slot for the thermal environment;
+	// defaults to ID-1.
+	Slot int
+	// Machine is the SoC model; defaults to soc.FU740().
+	Machine *soc.Machine
+	// Enclosure is the chassis configuration shared by the cluster.
+	Enclosure thermal.Enclosure
+	// HPMPatch applies the authors' U-Boot patch enabling the
+	// programmable performance counters.
+	HPMPatch bool
+}
+
+// Node is a simulated compute node. Not safe for concurrent use; the
+// cluster drives all nodes from the single simulation goroutine.
+type Node struct {
+	id       int
+	hostname string
+	machine  *soc.Machine
+	pm       *power.Model
+	tm       *thermal.Model
+	pmu      *perf.PMU
+
+	state     State
+	poweredAt float64
+	now       float64
+
+	workload  string
+	act       power.Activity
+	freqScale float64 // DVFS scale in (0,1]; 1 = nominal 1.2 GHz
+
+	// OS statistics state.
+	load1, load5, load15      float64
+	memUsedBytes              float64
+	rxBps, txBps              float64
+	ioReadBps, ioWriteBps     float64
+	rxTotal, txTotal          float64
+	ioReadTotal, ioWriteTotal float64
+	intsTotal, cswTotal       float64
+	procsNewTotal             float64
+}
+
+// New builds a node in the powered-off state.
+func New(cfg Config) (*Node, error) {
+	if cfg.ID <= 0 {
+		return nil, fmt.Errorf("node: id must be positive, got %d", cfg.ID)
+	}
+	machine := cfg.Machine
+	if machine == nil {
+		machine = soc.FU740()
+	}
+	if err := machine.Validate(); err != nil {
+		return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
+	}
+	slot := cfg.Slot
+	if slot == 0 && cfg.ID-1 < thermal.NumSlots {
+		slot = cfg.ID - 1
+	}
+	tm, err := thermal.NewModel(cfg.Enclosure, slot)
+	if err != nil {
+		return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
+	}
+	pmu, err := perf.NewPMU(machine.Cores, machine.ClockHz, 2 /* dual issue */, machine.CacheLineBytes, cfg.HPMPatch)
+	if err != nil {
+		return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
+	}
+	return &Node{
+		id:           cfg.ID,
+		hostname:     fmt.Sprintf("%s%02d", machine.HostPrefix, cfg.ID),
+		machine:      machine,
+		pm:           power.NewModel(),
+		tm:           tm,
+		pmu:          pmu,
+		state:        StateOff,
+		freqScale:    1,
+		memUsedBytes: 350e6, // resident OS baseline
+	}, nil
+}
+
+// ID returns the 1-based node number.
+func (n *Node) ID() int { return n.id }
+
+// Hostname returns the node's hostname ("mc01" ... "mc08").
+func (n *Node) Hostname() string { return n.hostname }
+
+// Machine returns the SoC model.
+func (n *Node) Machine() *soc.Machine { return n.machine }
+
+// PMU exposes the performance-counter unit (read by the pmu_pub plugin).
+func (n *Node) PMU() *perf.PMU { return n.pmu }
+
+// Thermal exposes the thermal model (used for enclosure changes).
+func (n *Node) Thermal() *thermal.Model { return n.tm }
+
+// State returns the life-cycle state.
+func (n *Node) State() State { return n.state }
+
+// Workload returns the running workload name; empty when idle.
+func (n *Node) Workload() string { return n.workload }
+
+// PowerOn presses the power button at virtual time now. Each compute node
+// has its own 250 W PSU and can be powered individually.
+func (n *Node) PowerOn(now float64) error {
+	if n.state != StateOff {
+		return fmt.Errorf("node %s: power-on in state %s", n.hostname, n.state)
+	}
+	n.state = StateBooting
+	n.poweredAt = now
+	n.now = now
+	return nil
+}
+
+// PowerOff cuts power, clearing any workload and thermal trip latch.
+func (n *Node) PowerOff() {
+	n.state = StateOff
+	n.workload = ""
+	n.act = power.Activity{}
+	n.rxBps, n.txBps, n.ioReadBps, n.ioWriteBps = 0, 0, 0, 0
+	n.tm.ClearTrip()
+}
+
+// Phase returns the power phase at the node's current time.
+func (n *Node) Phase() power.Phase {
+	switch n.state {
+	case StateOff, StateHalted:
+		return power.PhaseOff
+	case StateBooting:
+		elapsed := n.now - n.poweredAt
+		if elapsed < R1Duration {
+			return power.PhaseR1
+		}
+		return power.PhaseR2
+	default:
+		return power.PhaseRun
+	}
+}
+
+// SetWorkload installs a workload's activity profile (only meaningful on a
+// running node). memBytes is the workload's resident set.
+func (n *Node) SetWorkload(name string, act power.Activity, memBytes float64) error {
+	if n.state != StateRunning {
+		return fmt.Errorf("node %s: cannot run %q in state %s", n.hostname, name, n.state)
+	}
+	n.workload = name
+	n.act = act
+	n.memUsedBytes = 350e6 + memBytes
+	return nil
+}
+
+// ClearWorkload returns the node to idle.
+func (n *Node) ClearWorkload() {
+	n.workload = ""
+	n.act = power.Activity{}
+	n.memUsedBytes = 350e6
+}
+
+// SetNetRates sets the NIC receive/transmit rates in bytes/s (driven by the
+// cluster network model).
+func (n *Node) SetNetRates(rxBps, txBps float64) { n.rxBps, n.txBps = rxBps, txBps }
+
+// SetIORates sets NVMe read/write rates in bytes/s.
+func (n *Node) SetIORates(readBps, writeBps float64) { n.ioReadBps, n.ioWriteBps = readBps, writeBps }
+
+// Activity returns the current workload activity profile.
+func (n *Node) Activity() power.Activity { return n.act }
+
+// MinFreqScale is the governor's lowest operating point (the U740's OPP
+// table bottoms out around 40 % of nominal).
+const MinFreqScale = 0.4
+
+// SetFrequencyScale sets the DVFS operating point in [MinFreqScale, 1].
+// Values outside the range clamp. The scale reduces the dynamic share of
+// every rail and the instruction/cycle rates proportionally.
+func (n *Node) SetFrequencyScale(s float64) {
+	if s < MinFreqScale {
+		s = MinFreqScale
+	}
+	if s > 1 {
+		s = 1
+	}
+	n.freqScale = s
+}
+
+// FrequencyScale returns the current DVFS operating point.
+func (n *Node) FrequencyScale() float64 { return n.freqScale }
+
+// RailMilliwatts returns the instantaneous power of one rail, including
+// the boot ramp from the R2 floor towards the OS idle floor during the
+// last RampDuration seconds of the bootloader region, and the DVFS
+// operating point while the OS runs.
+func (n *Node) RailMilliwatts(r power.Rail) float64 {
+	phase := n.Phase()
+	if phase == power.PhaseRun {
+		return n.pm.RailMilliwattsScaled(r, phase, n.act, n.freqScale)
+	}
+	base := n.pm.RailMilliwatts(r, phase, n.act)
+	if phase != power.PhaseR2 {
+		return base
+	}
+	elapsed := n.now - n.poweredAt
+	rampStart := R1Duration + R2Duration - RampDuration
+	if elapsed <= rampStart {
+		return base
+	}
+	frac := (elapsed - rampStart) / RampDuration
+	idle := n.pm.RailMilliwatts(r, power.PhaseRun, power.Activity{})
+	return base + frac*(idle-base)
+}
+
+// TotalMilliwatts sums all nine rails.
+func (n *Node) TotalMilliwatts() float64 {
+	total := 0.0
+	for _, r := range power.Rails {
+		total += n.RailMilliwatts(r)
+	}
+	return total
+}
+
+// Temperature returns a sensor reading in degC.
+func (n *Node) Temperature(s thermal.Sensor) float64 { return n.tm.Temp(s) }
+
+// nvmeWatts models NVMe device power from IO activity.
+func (n *Node) nvmeWatts() float64 {
+	if n.state == StateOff || n.state == StateHalted {
+		return 0
+	}
+	util := (n.ioReadBps + n.ioWriteBps) / 2.0e9 // ~2 GB/s device
+	if util > 1 {
+		util = 1
+	}
+	return 0.8 + 3.2*util
+}
+
+// Step advances the node to virtual time now (dt seconds after the last
+// step). It updates boot progression, thermal state, performance counters
+// and OS statistics, and halts the node on a thermal trip.
+func (n *Node) Step(now float64) {
+	dt := now - n.now
+	if dt < 0 {
+		return
+	}
+	n.now = now
+	if dt == 0 {
+		return
+	}
+	// Boot progression.
+	if n.state == StateBooting && now-n.poweredAt >= R1Duration+R2Duration {
+		n.state = StateRunning
+	}
+
+	// Thermal: the SoC dissipates the sum of its rails.
+	socW := n.TotalMilliwatts() / 1000
+	n.tm.Step(dt, socW, n.nvmeWatts())
+	if n.tm.Tripped() && n.state != StateHalted {
+		// Thermal hazard: the node stops executing (paper, Fig. 6).
+		n.state = StateHalted
+		n.workload = ""
+		n.act = power.Activity{}
+	}
+
+	if n.state != StateRunning {
+		return
+	}
+
+	// Performance counters.
+	n.pmu.Advance(dt, perf.Load{
+		CoreActivity:        n.act.CoreActivity,
+		DDRReadBytesPerSec:  n.act.DDRReadGBs * 1e9,
+		DDRWriteBytesPerSec: n.act.DDRWriteGBs * 1e9,
+		ClockScale:          n.freqScale,
+	})
+
+	// OS statistics.
+	runnable := float64(n.machine.Cores) * n.act.CoreActivity
+	if n.workload != "" && runnable < 1 {
+		runnable = 1 // at least the benchmark process
+	}
+	n.load1 += (runnable - n.load1) * ewmaAlpha(dt, 60)
+	n.load5 += (runnable - n.load5) * ewmaAlpha(dt, 300)
+	n.load15 += (runnable - n.load15) * ewmaAlpha(dt, 900)
+	n.rxTotal += n.rxBps * dt
+	n.txTotal += n.txBps * dt
+	n.ioReadTotal += n.ioReadBps * dt
+	n.ioWriteTotal += n.ioWriteBps * dt
+	// Interrupts: timer ticks (250 Hz/core) plus NIC interrupts; context
+	// switches track interrupts plus scheduler activity.
+	n.intsTotal += dt * (250*float64(n.machine.Cores) + n.rxBps/8e3)
+	n.cswTotal += dt * (400 + 2000*n.act.CoreActivity)
+	n.procsNewTotal += dt * 2
+}
+
+func ewmaAlpha(dt, tau float64) float64 {
+	a := 1 - math.Exp(-dt/tau)
+	return a
+}
+
+// Stats is a snapshot of the OS metrics the stats_pub plugin publishes
+// (Table III).
+type Stats struct {
+	Load1, Load5, Load15                   float64
+	IORead, IOWrite                        float64 // cumulative bytes
+	ProcsRun, ProcsBlk, ProcsNew           float64
+	MemUsed, MemFree, MemBuff, MemCach     float64 // bytes
+	PagingIn, PagingOut                    float64
+	DiskRead, DiskWrite                    float64 // cumulative bytes
+	SystemInt, SystemCsw                   float64 // cumulative
+	CPUUsr, CPUSys, CPUIdl, CPUWai, CPUStl float64 // percent
+	NetRecv, NetSend                       float64 // cumulative bytes
+	TempMB, TempCPU, TempNVMe              float64 // degC
+}
+
+// Stats returns the current OS statistics snapshot.
+func (n *Node) Stats() Stats {
+	usr := 100 * n.act.CoreActivity
+	sys := 1.5
+	wai := 0.0
+	if n.ioReadBps+n.ioWriteBps > 0 {
+		wai = 2.0
+	}
+	idl := 100 - usr - sys - wai
+	if idl < 0 {
+		idl = 0
+	}
+	total := float64(n.machine.DDRBytes)
+	buff := 0.02 * total
+	cach := 0.10 * total
+	free := total - n.memUsedBytes - buff - cach
+	if free < 0 {
+		free = 0
+	}
+	return Stats{
+		Load1: n.load1, Load5: n.load5, Load15: n.load15,
+		IORead: n.ioReadTotal, IOWrite: n.ioWriteTotal,
+		ProcsRun: math.Round(n.load1), ProcsBlk: 0, ProcsNew: n.procsNewTotal,
+		MemUsed: n.memUsedBytes, MemFree: free, MemBuff: buff, MemCach: cach,
+		PagingIn: 0, PagingOut: 0,
+		DiskRead: n.ioReadTotal, DiskWrite: n.ioWriteTotal,
+		SystemInt: n.intsTotal, SystemCsw: n.cswTotal,
+		CPUUsr: usr, CPUSys: sys, CPUIdl: idl, CPUWai: wai, CPUStl: 0,
+		NetRecv: n.rxTotal, NetSend: n.txTotal,
+		TempMB: n.tm.Temp(thermal.SensorMB), TempCPU: n.tm.Temp(thermal.SensorCPU),
+		TempNVMe: n.tm.Temp(thermal.SensorNVMe),
+	}
+}
+
+// Hwmon sysfs paths for the three temperature sensors (Table IV).
+const (
+	HwmonNVMePath = "/sys/class/hwmon/hwmon0/temp1_input"
+	HwmonMBPath   = "/sys/class/hwmon/hwmon1/temp1_input"
+	HwmonCPUPath  = "/sys/class/hwmon/hwmon1/temp2_input"
+)
+
+// ReadHwmon reads a temperature sensor through its sysfs path, returning
+// millidegrees Celsius as the kernel hwmon interface does.
+func (n *Node) ReadHwmon(path string) (int64, error) {
+	var s thermal.Sensor
+	switch path {
+	case HwmonNVMePath:
+		s = thermal.SensorNVMe
+	case HwmonMBPath:
+		s = thermal.SensorMB
+	case HwmonCPUPath:
+		s = thermal.SensorCPU
+	default:
+		return 0, fmt.Errorf("node %s: no hwmon entry %q", n.hostname, path)
+	}
+	if n.state == StateOff {
+		return 0, fmt.Errorf("node %s: hwmon read while powered off", n.hostname)
+	}
+	return int64(math.Round(n.tm.Temp(s) * 1000)), nil
+}

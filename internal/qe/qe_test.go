@@ -1,0 +1,226 @@
+package qe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"montecimone/internal/netsim"
+	"montecimone/internal/sim"
+	"montecimone/internal/soc"
+)
+
+// randomSymmetric builds a random symmetric matrix.
+func randomSymmetric(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.Float64() - 0.5
+			a[i*n+j] = v
+			a[j*n+i] = v
+		}
+	}
+	return a
+}
+
+func TestSymmetricEigenKnownTridiagonal(t *testing.T) {
+	// The (-1, 2, -1) tridiagonal matrix has eigenvalues
+	// 2 - 2 cos(k*pi/(n+1)), k = 1..n.
+	n := 32
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = 2
+		if i+1 < n {
+			a[i*n+i+1] = -1
+			a[(i+1)*n+i] = -1
+		}
+	}
+	vals, _, err := SymmetricEigen(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if math.Abs(vals[k-1]-want) > 1e-10 {
+			t.Errorf("eigenvalue %d = %v, want %v", k, vals[k-1], want)
+		}
+	}
+}
+
+func TestSymmetricEigenResidualAndOrthogonality(t *testing.T) {
+	n := 64
+	a := randomSymmetric(n, 3)
+	vals, vecs, err := SymmetricEigen(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A v_k = lambda_k v_k.
+	for k := 0; k < n; k++ {
+		maxErr := 0.0
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += a[i*n+j] * vecs[j*n+k]
+			}
+			maxErr = math.Max(maxErr, math.Abs(sum-vals[k]*vecs[i*n+k]))
+		}
+		if maxErr > 1e-10 {
+			t.Errorf("eigenpair %d residual %v", k, maxErr)
+		}
+	}
+	// Eigenvectors orthonormal.
+	for p := 0; p < n; p += 7 {
+		for q := p; q < n; q += 7 {
+			dot := 0.0
+			for i := 0; i < n; i++ {
+				dot += vecs[i*n+p] * vecs[i*n+q]
+			}
+			want := 0.0
+			if p == q {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > 1e-10 {
+				t.Errorf("vec %d . vec %d = %v, want %v", p, q, dot, want)
+			}
+		}
+	}
+	// Ascending order.
+	for k := 1; k < n; k++ {
+		if vals[k] < vals[k-1] {
+			t.Fatal("eigenvalues not sorted")
+		}
+	}
+}
+
+func TestSymmetricEigenValidation(t *testing.T) {
+	if _, _, err := SymmetricEigen(nil, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := SymmetricEigen(make([]float64, 5), 2); err == nil {
+		t.Error("bad storage accepted")
+	}
+	asym := []float64{1, 2, 3, 4}
+	if _, _, err := SymmetricEigen(asym, 2); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+}
+
+func TestSymmetricEigenTraceProperty(t *testing.T) {
+	// Eigenvalue sum equals the trace; sum of squares equals ||A||_F^2.
+	prop := func(seed int64, nRaw uint8) bool {
+		n := 4 + int(nRaw)%28
+		a := randomSymmetric(n, seed)
+		vals, _, err := SymmetricEigen(a, n)
+		if err != nil {
+			return false
+		}
+		trace, sumSq, frob := 0.0, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += a[i*n+i]
+		}
+		for _, v := range vals {
+			sumSq += v * v
+		}
+		for _, v := range a {
+			frob += v * v
+		}
+		valSum := 0.0
+		for _, v := range vals {
+			valSum += v
+		}
+		return math.Abs(valSum-trace) < 1e-9 && math.Abs(sumSq-frob) < 1e-8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLAXPaperPoint(t *testing.T) {
+	// Section V-A: 512^2 input, 1.44 +- 0.05 GFLOP/s (36 % of FPU peak)
+	// over a 37.40 +- 0.14 s test.
+	r, err := Run(Config{N: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.GFlops-1.44) > 0.01 {
+		t.Errorf("GFlops = %.3f, want 1.44", r.GFlops)
+	}
+	if math.Abs(r.Efficiency-0.36) > 0.005 {
+		t.Errorf("efficiency = %.3f, want 0.36", r.Efficiency)
+	}
+	if math.Abs(r.Seconds-37.40)/37.40 > 0.02 {
+		t.Errorf("duration = %.2f s, want ~37.40", r.Seconds)
+	}
+}
+
+func TestLAXRepeatStats(t *testing.T) {
+	stats, err := Repeat(Config{N: 512}, 10, sim.NewRNG(4), "qe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats.MeanSeconds-37.4) > 1.0 {
+		t.Errorf("mean = %v", stats.MeanSeconds)
+	}
+	if stats.StdSeconds <= 0 || stats.StdSeconds > 0.5 {
+		t.Errorf("std seconds = %v, want ~0.14 regime", stats.StdSeconds)
+	}
+	if stats.StdGFlops <= 0 || stats.StdGFlops > 0.15 {
+		t.Errorf("std gflops = %v, want ~0.05 regime", stats.StdGFlops)
+	}
+}
+
+func TestLAXDistributedFasterButLessEfficient(t *testing.T) {
+	single, err := Run(Config{N: 2048, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := netsim.GigabitEthernet()
+	multi, err := Run(Config{N: 2048, Iterations: 10, Nodes: 4, Link: &link})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Seconds >= single.Seconds {
+		t.Errorf("4-node LAX %v not faster than single %v", multi.Seconds, single.Seconds)
+	}
+	if multi.Efficiency >= single.Efficiency {
+		t.Errorf("4-node efficiency %v not below single %v", multi.Efficiency, single.Efficiency)
+	}
+}
+
+func TestLAXValidation(t *testing.T) {
+	if _, err := Run(Config{N: 0}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Run(Config{N: 512, Iterations: -1}); err == nil {
+		t.Error("negative iterations accepted")
+	}
+	if _, err := Run(Config{N: 512, Efficiency: 2}); err == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+	if _, err := Run(Config{N: 512, Nodes: -2}); err == nil {
+		t.Error("negative nodes accepted")
+	}
+	if _, err := Repeat(Config{N: 512}, 0, sim.NewRNG(1), "s"); err == nil {
+		t.Error("zero reps accepted")
+	}
+	if _, err := Repeat(Config{N: 512}, 3, nil, "s"); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestLAXOtherMachines(t *testing.T) {
+	// The model scales with the machine's peak.
+	mc, err := Run(Config{N: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m100, err := Run(Config{N: 512, Machine: soc.Marconi100()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m100.Seconds >= mc.Seconds {
+		t.Error("Power9 node not faster than U740 on LAX")
+	}
+}

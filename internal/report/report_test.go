@@ -1,0 +1,197 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"montecimone/internal/core"
+	"montecimone/internal/examon"
+	"montecimone/internal/spack"
+)
+
+func TestTableWrite(t *testing.T) {
+	tbl := &Table{Title: "demo", Headers: []string{"A", "BB"}}
+	tbl.AddRow("x", "1")
+	tbl.AddRow("longer", "22")
+	var sb strings.Builder
+	if err := tbl.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "demo\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "A") || !strings.Contains(lines[1], "BB") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// Columns aligned: "BB" column starts at the same offset in all rows.
+	idx := strings.Index(lines[3], "1")
+	if strings.Index(lines[4], "22") != idx {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableIRendering(t *testing.T) {
+	rows := []spack.StackRow{{Package: "hpl", Version: "2.3"}}
+	var sb strings.Builder
+	if err := TableI(rows).Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "hpl") || !strings.Contains(sb.String(), "2.3") {
+		t.Errorf("output = %q", sb.String())
+	}
+}
+
+func TestFig2Rendering(t *testing.T) {
+	points := []core.ScalingPoint{{
+		Nodes: 8, P: 4, Q: 8,
+		MeanGFlops: 12.16, StdGFlops: 0.39,
+		MeanSeconds: 3701, StdSeconds: 120,
+		Speedup: 6.47, LinearFraction: 0.809,
+	}}
+	var sb strings.Builder
+	if err := Fig2(points).Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"4x8", "12.16 +- 0.39", "80.9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	ramp := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(ramp)) != 4 {
+		t.Fatalf("ramp = %q", ramp)
+	}
+	runes := []rune(ramp)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("ramp extremes = %q", ramp)
+	}
+	// Numerically flat series with epsilon noise renders flat.
+	flat := Sparkline([]float64{1e9, 1e9 * (1 + 1e-12), 1e9})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series rendered %q", flat)
+		}
+	}
+	// NaN cells render as spaces.
+	withGap := Sparkline([]float64{1, math.NaN(), 2})
+	if []rune(withGap)[1] != ' ' {
+		t.Errorf("gap = %q", withGap)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	ds := Downsample(vals, 10)
+	if len(ds) != 10 {
+		t.Fatalf("len = %d", len(ds))
+	}
+	if ds[0] != 4.5 || ds[9] != 94.5 {
+		t.Errorf("ds = %v", ds)
+	}
+	// Short inputs pass through.
+	if got := Downsample(vals[:5], 10); len(got) != 5 {
+		t.Errorf("short input resized to %d", len(got))
+	}
+	// All-NaN windows stay NaN.
+	nan := Downsample([]float64{math.NaN(), math.NaN(), math.NaN(), math.NaN()}, 2)
+	if !math.IsNaN(nan[0]) {
+		t.Errorf("nan window = %v", nan)
+	}
+}
+
+func TestTableRenderers(t *testing.T) {
+	// Exercise every table renderer against live experiment outputs.
+	var sb strings.Builder
+
+	if err := TableII(core.TableII()).Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dstat_pub") {
+		t.Error("TableII missing plugin names")
+	}
+
+	sb.Reset()
+	samples := []core.MetricSample{{Metric: "load_avg.1m", Value: 3.5}}
+	if err := TableIII(samples).Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "load_avg.1m") || !strings.Contains(sb.String(), "3.5") {
+		t.Errorf("TableIII = %q", sb.String())
+	}
+
+	sb.Reset()
+	sensors := []core.SensorRow{{Sensor: "cpu_temp", SysfsFile: "/sys/x", MilliC: 45000}}
+	if err := TableIV(sensors).Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "45000") {
+		t.Errorf("TableIV = %q", sb.String())
+	}
+
+	sb.Reset()
+	tbl, err := core.TableV(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TableV(tbl).Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "triad") {
+		t.Error("TableV missing kernels")
+	}
+
+	sb.Reset()
+	if err := TableVI(core.TableVI()).Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ddr_mem", "Boot R1", "Total", "4810"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TableVI missing %q", want)
+		}
+	}
+}
+
+func TestHeatmapRendering(t *testing.T) {
+	hm := &examon.Heatmap{
+		Nodes:    []string{"mc01", "mc02"},
+		BinWidth: 1,
+		Values:   [][]float64{{1, 2, 3}, {3, 2, 1}},
+	}
+	out := Heatmap("demo", hm)
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "mc01") {
+		t.Errorf("heatmap = %q", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("heatmap lines = %d", lines)
+	}
+}
+
+func TestEfficiencyRendering(t *testing.T) {
+	rows := []core.EfficiencyRow{
+		{Machine: "Monte Cimone", ISA: "rv64gcb", Efficiency: 0.474, Attained: 1.9},
+	}
+	var sb strings.Builder
+	if err := Efficiency("t", "GFLOP/s", rows).Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "47.40") {
+		t.Errorf("output = %q", sb.String())
+	}
+}

@@ -1,0 +1,466 @@
+// Package sched implements the SLURM-style batch scheduler ported to Monte
+// Cimone (Section IV-A of the paper lists SLURM among the essential
+// production services brought up on the cluster).
+//
+// The scheduler manages one partition of named nodes, accepts batch jobs
+// with node counts and wall-time limits, runs a FIFO queue with optional
+// EASY backfill, and reacts to node failures (the thermal halt of node 7 in
+// the paper surfaces as a NODE_FAIL job state). sinfo/squeue/sacct-style
+// views expose the state. All timing is driven by the shared discrete-event
+// engine.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"montecimone/internal/sim"
+)
+
+// JobState follows SLURM's job life cycle.
+type JobState string
+
+// Job states (a subset of SLURM's).
+const (
+	StatePending   JobState = "PENDING"
+	StateRunning   JobState = "RUNNING"
+	StateCompleted JobState = "COMPLETED"
+	StateTimeout   JobState = "TIMEOUT"
+	StateCancelled JobState = "CANCELLED"
+	StateNodeFail  JobState = "NODE_FAIL"
+)
+
+// NodeState follows sinfo's node states.
+type NodeState string
+
+// Node states.
+const (
+	NodeIdle  NodeState = "idle"
+	NodeAlloc NodeState = "alloc"
+	NodeDown  NodeState = "down"
+)
+
+// JobSpec describes a batch submission.
+type JobSpec struct {
+	// Name is the job name (sbatch -J).
+	Name string
+	// User is the submitting user.
+	User string
+	// Nodes is the requested node count (sbatch -N).
+	Nodes int
+	// TimeLimit is the wall-time limit in seconds (sbatch -t).
+	TimeLimit float64
+	// Duration is the modelled execution time of the workload; the job
+	// completes after this time or hits TimeLimit, whichever comes first.
+	Duration float64
+	// Requeue controls whether a NODE_FAIL puts the job back in the queue.
+	Requeue bool
+	// OnStart runs when the job starts, with the allocated hostnames.
+	OnStart func(job *Job, hosts []string)
+	// OnEnd runs when the job leaves the node set, with the final state.
+	OnEnd func(job *Job, state JobState)
+}
+
+// Job is a scheduled instance of a JobSpec.
+type Job struct {
+	// ID is the cluster-unique job id.
+	ID int
+	// Spec is the submission.
+	Spec JobSpec
+
+	state     JobState
+	submitted float64
+	started   float64
+	ended     float64
+	hosts     []string
+	endEvent  *sim.Event
+}
+
+// State returns the job state.
+func (j *Job) State() JobState { return j.state }
+
+// Hosts returns the allocated hostnames (nil unless running or finished).
+func (j *Job) Hosts() []string { return append([]string(nil), j.hosts...) }
+
+// SubmitTime, StartTime and EndTime return the job's timestamps; Start and
+// End are zero until the respective transition.
+func (j *Job) SubmitTime() float64 { return j.submitted }
+
+// StartTime returns when the job started (0 if never started).
+func (j *Job) StartTime() float64 { return j.started }
+
+// EndTime returns when the job ended (0 if still queued/running).
+func (j *Job) EndTime() float64 { return j.ended }
+
+type nodeInfo struct {
+	host  string
+	state NodeState
+	jobID int // running job, 0 if none
+}
+
+// Option configures the scheduler.
+type Option interface{ apply(*Scheduler) }
+
+type backfillOption bool
+
+func (b backfillOption) apply(s *Scheduler) { s.backfill = bool(b) }
+
+// WithBackfill enables or disables EASY backfill (default on, as in the
+// production SLURM configuration).
+func WithBackfill(enabled bool) Option { return backfillOption(enabled) }
+
+// Scheduler is the controller daemon (slurmctld).
+type Scheduler struct {
+	engine    *sim.Engine
+	partition string
+	backfill  bool
+
+	nodes  map[string]*nodeInfo
+	order  []string // stable allocation order
+	queue  []*Job   // pending, FIFO
+	jobs   map[int]*Job
+	nextID int
+}
+
+// New builds a scheduler over the given hostnames.
+func New(engine *sim.Engine, partition string, hostnames []string, opts ...Option) (*Scheduler, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("sched: nil engine")
+	}
+	if len(hostnames) == 0 {
+		return nil, fmt.Errorf("sched: empty partition")
+	}
+	s := &Scheduler{
+		engine:    engine,
+		partition: partition,
+		backfill:  true,
+		nodes:     make(map[string]*nodeInfo, len(hostnames)),
+		jobs:      make(map[int]*Job),
+		nextID:    1,
+	}
+	for _, h := range hostnames {
+		if _, dup := s.nodes[h]; dup {
+			return nil, fmt.Errorf("sched: duplicate hostname %q", h)
+		}
+		s.nodes[h] = &nodeInfo{host: h, state: NodeIdle}
+		s.order = append(s.order, h)
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	return s, nil
+}
+
+// Submit queues a job; scheduling is attempted at the current virtual time.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	if spec.Nodes <= 0 {
+		return nil, fmt.Errorf("sched: job %q requests %d nodes", spec.Name, spec.Nodes)
+	}
+	if spec.Nodes > len(s.nodes) {
+		return nil, fmt.Errorf("sched: job %q requests %d nodes, partition has %d", spec.Name, spec.Nodes, len(s.nodes))
+	}
+	if spec.TimeLimit <= 0 {
+		return nil, fmt.Errorf("sched: job %q needs a positive time limit", spec.Name)
+	}
+	if spec.Duration < 0 {
+		return nil, fmt.Errorf("sched: job %q has negative duration", spec.Name)
+	}
+	job := &Job{ID: s.nextID, Spec: spec, state: StatePending, submitted: s.engine.Now()}
+	s.nextID++
+	s.jobs[job.ID] = job
+	s.queue = append(s.queue, job)
+	s.kick()
+	return job, nil
+}
+
+// Cancel removes a pending job or stops a running one (scancel).
+func (s *Scheduler) Cancel(jobID int) error {
+	job, ok := s.jobs[jobID]
+	if !ok {
+		return fmt.Errorf("sched: unknown job %d", jobID)
+	}
+	switch job.state {
+	case StatePending:
+		s.removeFromQueue(job)
+		job.state = StateCancelled
+		job.ended = s.engine.Now()
+		s.finish(job, StateCancelled)
+	case StateRunning:
+		s.endJob(job, StateCancelled)
+	default:
+		return fmt.Errorf("sched: job %d already %s", jobID, job.state)
+	}
+	return nil
+}
+
+// NodeDown marks a node failed (e.g. thermal halt). A job running there
+// ends in NODE_FAIL and is requeued when its spec asks for it.
+func (s *Scheduler) NodeDown(host string) error {
+	ni, ok := s.nodes[host]
+	if !ok {
+		return fmt.Errorf("sched: unknown node %q", host)
+	}
+	if ni.state == NodeDown {
+		return nil
+	}
+	victim := ni.jobID
+	ni.state = NodeDown
+	ni.jobID = 0
+	if victim != 0 {
+		job := s.jobs[victim]
+		requeue := job.Spec.Requeue
+		s.endJob(job, StateNodeFail)
+		if requeue {
+			clone := &Job{ID: s.nextID, Spec: job.Spec, state: StatePending, submitted: s.engine.Now()}
+			s.nextID++
+			s.jobs[clone.ID] = clone
+			s.queue = append(s.queue, clone)
+		}
+	}
+	s.kick()
+	return nil
+}
+
+// NodeUp returns a failed node to service.
+func (s *Scheduler) NodeUp(host string) error {
+	ni, ok := s.nodes[host]
+	if !ok {
+		return fmt.Errorf("sched: unknown node %q", host)
+	}
+	if ni.state == NodeDown {
+		ni.state = NodeIdle
+	}
+	s.kick()
+	return nil
+}
+
+// Job returns a job by id.
+func (s *Scheduler) Job(id int) (*Job, bool) {
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// kick schedules a trySchedule pass at the current instant.
+func (s *Scheduler) kick() {
+	// Scheduling runs as an event so that submissions during event
+	// processing still honour engine ordering.
+	if _, err := s.engine.ScheduleAfter(0, "sched.cycle", func(*sim.Engine) { s.trySchedule() }); err != nil {
+		panic(fmt.Sprintf("sched: kick: %v", err)) // unreachable: delay 0 is valid
+	}
+}
+
+func (s *Scheduler) idleHosts() []string {
+	var idle []string
+	for _, h := range s.order {
+		if s.nodes[h].state == NodeIdle {
+			idle = append(idle, h)
+		}
+	}
+	return idle
+}
+
+// trySchedule starts the queue head if it fits, then (optionally) EASY
+// backfills later jobs that cannot delay the head's reservation.
+func (s *Scheduler) trySchedule() {
+	for {
+		progressed := false
+		idle := s.idleHosts()
+		if len(s.queue) > 0 && s.queue[0].Spec.Nodes <= len(idle) {
+			s.start(s.queue[0], idle[:s.queue[0].Spec.Nodes])
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	if !s.backfill || len(s.queue) < 2 {
+		return
+	}
+	// EASY backfill: compute the head job's shadow start from running
+	// jobs' wall-time limits, then start any later job that either ends
+	// before the shadow time or fits in the nodes the head won't need.
+	head := s.queue[0]
+	shadow, extra := s.reservation(head)
+	for i := 1; i < len(s.queue); {
+		cand := s.queue[i]
+		idle := s.idleHosts()
+		fitsNow := cand.Spec.Nodes <= len(idle)
+		now := s.engine.Now()
+		harmless := now+cand.Spec.TimeLimit <= shadow || cand.Spec.Nodes <= extra
+		if fitsNow && harmless {
+			s.start(cand, idle[:cand.Spec.Nodes])
+			if cand.Spec.Nodes <= extra {
+				extra -= cand.Spec.Nodes
+			}
+			// start removed cand from the queue; do not advance i.
+			continue
+		}
+		i++
+	}
+}
+
+// reservation returns the head job's expected start (shadow time) and the
+// number of nodes that remain free at that time beyond the head's need.
+func (s *Scheduler) reservation(head *Job) (shadow float64, extraNodes int) {
+	type release struct {
+		at    float64
+		hosts int
+	}
+	avail := len(s.idleHosts())
+	if head.Spec.Nodes <= avail {
+		return s.engine.Now(), avail - head.Spec.Nodes
+	}
+	var releases []release
+	perJob := make(map[int]int)
+	for _, h := range s.order {
+		if s.nodes[h].state == NodeAlloc {
+			perJob[s.nodes[h].jobID]++
+		}
+	}
+	for id, count := range perJob {
+		j := s.jobs[id]
+		releases = append(releases, release{at: j.started + j.Spec.TimeLimit, hosts: count})
+	}
+	sort.Slice(releases, func(i, k int) bool { return releases[i].at < releases[k].at })
+	for _, r := range releases {
+		avail += r.hosts
+		if avail >= head.Spec.Nodes {
+			return r.at, avail - head.Spec.Nodes
+		}
+	}
+	// Unreachable if the submission validated against partition size.
+	return s.engine.Now(), 0
+}
+
+func (s *Scheduler) start(job *Job, hosts []string) {
+	s.removeFromQueue(job)
+	job.state = StateRunning
+	job.started = s.engine.Now()
+	job.hosts = append([]string(nil), hosts...)
+	for _, h := range hosts {
+		s.nodes[h].state = NodeAlloc
+		s.nodes[h].jobID = job.ID
+	}
+	runFor := job.Spec.Duration
+	final := StateCompleted
+	if job.Spec.TimeLimit < runFor {
+		runFor = job.Spec.TimeLimit
+		final = StateTimeout
+	}
+	ev, err := s.engine.ScheduleAfter(runFor, fmt.Sprintf("sched.end(job %d)", job.ID), func(*sim.Engine) {
+		s.endJob(job, final)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("sched: schedule end: %v", err)) // unreachable: runFor >= 0
+	}
+	job.endEvent = ev
+	if job.Spec.OnStart != nil {
+		job.Spec.OnStart(job, job.Hosts())
+	}
+}
+
+// endJob releases a running job's nodes with the given final state.
+func (s *Scheduler) endJob(job *Job, state JobState) {
+	if job.state != StateRunning {
+		return
+	}
+	if job.endEvent != nil {
+		job.endEvent.Cancel()
+		job.endEvent = nil
+	}
+	for _, h := range job.hosts {
+		if ni := s.nodes[h]; ni.jobID == job.ID {
+			ni.jobID = 0
+			if ni.state == NodeAlloc {
+				ni.state = NodeIdle
+			}
+		}
+	}
+	job.state = state
+	job.ended = s.engine.Now()
+	s.finish(job, state)
+	s.kick()
+}
+
+func (s *Scheduler) finish(job *Job, state JobState) {
+	if job.Spec.OnEnd != nil {
+		job.Spec.OnEnd(job, state)
+	}
+}
+
+func (s *Scheduler) removeFromQueue(job *Job) {
+	for i, j := range s.queue {
+		if j == job {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// JobRow is one squeue/sacct line.
+type JobRow struct {
+	ID        int
+	Name      string
+	User      string
+	State     JobState
+	Nodes     int
+	Hosts     []string
+	Submit    float64
+	Start     float64
+	End       float64
+	TimeLimit float64
+}
+
+// Squeue lists pending and running jobs, pending in queue order first.
+func (s *Scheduler) Squeue() []JobRow {
+	var rows []JobRow
+	for _, j := range s.queue {
+		rows = append(rows, s.row(j))
+	}
+	var running []JobRow
+	for _, j := range s.jobs {
+		if j.state == StateRunning {
+			running = append(running, s.row(j))
+		}
+	}
+	sort.Slice(running, func(i, k int) bool { return running[i].ID < running[k].ID })
+	return append(rows, running...)
+}
+
+// Sacct lists all jobs ever submitted, by id.
+func (s *Scheduler) Sacct() []JobRow {
+	rows := make([]JobRow, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		rows = append(rows, s.row(j))
+	}
+	sort.Slice(rows, func(i, k int) bool { return rows[i].ID < rows[k].ID })
+	return rows
+}
+
+func (s *Scheduler) row(j *Job) JobRow {
+	return JobRow{
+		ID: j.ID, Name: j.Spec.Name, User: j.Spec.User, State: j.state,
+		Nodes: j.Spec.Nodes, Hosts: j.Hosts(), Submit: j.submitted,
+		Start: j.started, End: j.ended, TimeLimit: j.Spec.TimeLimit,
+	}
+}
+
+// NodeRow is one sinfo line.
+type NodeRow struct {
+	Host  string
+	State NodeState
+	JobID int
+}
+
+// Sinfo lists nodes in partition order.
+func (s *Scheduler) Sinfo() []NodeRow {
+	rows := make([]NodeRow, 0, len(s.order))
+	for _, h := range s.order {
+		ni := s.nodes[h]
+		rows = append(rows, NodeRow{Host: h, State: ni.state, JobID: ni.jobID})
+	}
+	return rows
+}
+
+// Partition returns the partition name.
+func (s *Scheduler) Partition() string { return s.partition }

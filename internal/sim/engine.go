@@ -1,0 +1,152 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock measured in seconds since simulation
+// start. Events are callbacks scheduled at absolute or relative virtual
+// times and are executed in non-decreasing time order; events scheduled for
+// the same instant run in scheduling order, which makes simulations fully
+// deterministic and therefore reproducible in tests and benchmarks.
+//
+// All Monte Cimone subsystem models (power rails, thermal network, telemetry
+// samplers, scheduler, boot sequencing) are driven by a single Engine so
+// that their interleaving is well defined.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrStopped is returned by Run when the simulation was stopped explicitly
+// via Engine.Stop before reaching the requested horizon.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Event is a scheduled callback. The callback receives the engine so it can
+// schedule follow-up events; it runs at exactly its scheduled virtual time.
+type Event struct {
+	at   float64
+	seq  uint64
+	fn   func(*Engine)
+	name string
+
+	cancelled bool
+	index     int // heap index, -1 once popped or cancelled
+}
+
+// At returns the virtual time (seconds) the event is scheduled for.
+func (e *Event) At() float64 { return e.at }
+
+// Name returns the diagnostic label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Engine is a discrete-event simulator with a virtual clock.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     float64
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+
+	executed uint64
+}
+
+// NewEngine returns an engine with the clock at t=0 and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Executed returns the number of events executed so far, a useful progress
+// and determinism check.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events currently queued (including events
+// that were cancelled but not yet discarded).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// ScheduleAt registers fn to run at absolute virtual time at (seconds).
+// Scheduling in the past is an error; scheduling at the current instant is
+// allowed and runs after already-queued events for that instant.
+func (e *Engine) ScheduleAt(at float64, name string, fn func(*Engine)) (*Event, error) {
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		return nil, fmt.Errorf("sim: schedule %q: invalid time %v", name, at)
+	}
+	if at < e.now {
+		return nil, fmt.Errorf("sim: schedule %q: time %.9f is before now %.9f", name, at, e.now)
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, name: name}
+	e.seq++
+	e.queue.Push(ev)
+	return ev, nil
+}
+
+// ScheduleAfter registers fn to run delay seconds after the current time.
+func (e *Engine) ScheduleAfter(delay float64, name string, fn func(*Engine)) (*Event, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
+	}
+	return e.ScheduleAt(e.now+delay, name, fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := e.queue.Pop()
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn(e)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is exhausted or the next
+// event lies strictly beyond horizon; the clock is then advanced to horizon.
+// It returns ErrStopped if Stop was called during execution.
+func (e *Engine) RunUntil(horizon float64) error {
+	if horizon < e.now {
+		return fmt.Errorf("sim: horizon %.9f is before now %.9f", horizon, e.now)
+	}
+	e.stopped = false
+	for e.queue.Len() > 0 {
+		next := e.queue.Peek()
+		if next.cancelled {
+			e.queue.Pop()
+			continue
+		}
+		if next.at > horizon {
+			break
+		}
+		e.Step()
+		if e.stopped {
+			return ErrStopped
+		}
+	}
+	e.now = horizon
+	return nil
+}
+
+// Run executes all pending events (including ones scheduled while running)
+// until the queue drains. It returns ErrStopped if Stop was called.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for e.Step() {
+		if e.stopped {
+			return ErrStopped
+		}
+	}
+	return nil
+}

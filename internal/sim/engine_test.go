@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	times := []float64{3, 1, 2, 1, 0, 5, 4}
+	for _, at := range times {
+		at := at
+		if _, err := e.ScheduleAt(at, "ev", func(e *Engine) {
+			got = append(got, at)
+			if e.Now() != at {
+				t.Errorf("clock %v at event scheduled for %v", e.Now(), at)
+			}
+		}); err != nil {
+			t.Fatalf("ScheduleAt(%v): %v", at, err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("executed %d events, want %d", len(got), len(times))
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := e.ScheduleAt(1.0, "same", func(*Engine) { got = append(got, i) }); err != nil {
+			t.Fatalf("ScheduleAt: %v", err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.ScheduleAt(5, "x", func(*Engine) {}); err != nil {
+		t.Fatalf("ScheduleAt: %v", err)
+	}
+	if err := e.RunUntil(10); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if _, err := e.ScheduleAt(5, "past", func(*Engine) {}); err == nil {
+		t.Fatal("scheduling in the past should fail")
+	}
+	if _, err := e.ScheduleAfter(-1, "neg", func(*Engine) {}); err == nil {
+		t.Fatal("negative delay should fail")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	if _, err := e.ScheduleAt(2, "in", func(*Engine) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	late, err := e.ScheduleAt(20, "out", func(*Engine) { t.Error("event beyond horizon fired") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(10); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if !fired {
+		t.Error("event within horizon did not fire")
+	}
+	if e.Now() != 10 {
+		t.Errorf("clock = %v, want 10", e.Now())
+	}
+	late.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ev, err := e.ScheduleAt(1, "cancelled", func(*Engine) { t.Error("cancelled event fired") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.Executed() != 0 {
+		t.Errorf("executed %d events, want 0", e.Executed())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		at := float64(i)
+		if _, err := e.ScheduleAt(at, "n", func(e *Engine) {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestEventScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	if _, err := e.ScheduleAt(1, "first", func(e *Engine) {
+		order = append(order, "first")
+		if _, err := e.ScheduleAfter(1, "child", func(*Engine) { order = append(order, "child") }); err != nil {
+			t.Errorf("child schedule: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "first" || order[1] != "child" {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("clock = %v, want 2", e.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []float64
+	tk, err := NewTicker(e, 0.5, 0.25, "tick", func(now float64) { ticks = append(ticks, now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(1.5); err != nil {
+		t.Fatal(err)
+	}
+	tk.Stop()
+	if err := e.RunUntil(3.0); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0.75, 1.0, 1.25, 1.5}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks[%d] = %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerInvalidPeriod(t *testing.T) {
+	e := NewEngine()
+	if _, err := NewTicker(e, 0, 0, "bad", func(float64) {}); err == nil {
+		t.Fatal("zero period should fail")
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk, err := NewTicker(e, 0, 1, "self-stop", func(float64) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+// Property: for any set of schedule times, execution order is a sorted
+// permutation of the input.
+func TestQueueOrderingProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		e := NewEngine()
+		times := make([]float64, len(raw))
+		for i, v := range raw {
+			times[i] = float64(v) / 16.0
+		}
+		var got []float64
+		for _, at := range times {
+			at := at
+			if _, err := e.ScheduleAt(at, "p", func(*Engine) { got = append(got, at) }); err != nil {
+				return false
+			}
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(got) != len(times) {
+			return false
+		}
+		sorted := append([]float64(nil), times...)
+		sort.Float64s(sorted)
+		for i := range sorted {
+			if got[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: heap pop sequence equals sorted insert sequence even with
+// interleaved pushes and pops.
+func TestHeapInterleavedProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var q eventQueue
+		var inFlight []float64
+		var popped []float64
+		seq := uint64(0)
+		steps := int(n) + 10
+		for i := 0; i < steps; i++ {
+			if q.Len() == 0 || r.Intn(3) > 0 {
+				at := float64(r.Intn(1000))
+				q.Push(&Event{at: at, seq: seq})
+				seq++
+				inFlight = append(inFlight, at)
+			} else {
+				popped = append(popped, q.Pop().at)
+			}
+		}
+		for q.Len() > 0 {
+			popped = append(popped, q.Pop().at)
+		}
+		sort.Float64s(inFlight)
+		// Popped sequence must be a permutation of pushed values; each pop
+		// must return a value <= any value popped later among those present.
+		if len(popped) != len(inFlight) {
+			return false
+		}
+		cp := append([]float64(nil), popped...)
+		sort.Float64s(cp)
+		for i := range cp {
+			if cp[i] != inFlight[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Stream("x").Float64() != b.Stream("x").Float64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	// Different names must give different draws (overwhelmingly likely).
+	c := NewRNG(42)
+	if c.Stream("x").Float64() == c.Stream("y").Float64() {
+		t.Fatal("independent streams returned identical first draw")
+	}
+}
+
+func TestRNGStreamIsolation(t *testing.T) {
+	// Draws on stream "a" must not perturb stream "b".
+	r1 := NewRNG(7)
+	_ = r1.Stream("a").Float64()
+	v1 := r1.Stream("b").Float64()
+
+	r2 := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		_ = r2.Stream("a").Float64()
+	}
+	v2 := r2.Stream("b").Float64()
+	if v1 != v2 {
+		t.Fatal("stream b perturbed by draws on stream a")
+	}
+}

@@ -1,0 +1,162 @@
+// Package storage models the Monte Cimone storage hierarchy: the 1 TB NVMe
+// 2280 module in each node's M.2 slot (hosting the operating system) and
+// the cluster-wide NFS share exported by the master node that every compute
+// node mounts.
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoSpace is returned when a write exceeds the device capacity.
+var ErrNoSpace = errors.New("storage: no space left on device")
+
+// NVMe models a node-local NVMe SSD.
+type NVMe struct {
+	capacityBytes int64
+	readBps       float64
+	writeBps      float64
+	latencySec    float64
+
+	usedBytes  int64
+	readTotal  float64
+	writeTotal float64
+}
+
+// NewNVMe returns the 1 TB module used in the RV007 nodes: ~2.0 GB/s reads,
+// ~1.6 GB/s writes over the PCIe Gen3 link, 80 us access latency.
+func NewNVMe() *NVMe {
+	return &NVMe{
+		capacityBytes: 1_000_000_000_000,
+		readBps:       2.0e9,
+		writeBps:      1.6e9,
+		latencySec:    80e-6,
+	}
+}
+
+// CapacityBytes returns the device capacity.
+func (d *NVMe) CapacityBytes() int64 { return d.capacityBytes }
+
+// UsedBytes returns the allocated bytes.
+func (d *NVMe) UsedBytes() int64 { return d.usedBytes }
+
+// Read models reading the given bytes, returning the transfer duration.
+func (d *NVMe) Read(bytes int64) (float64, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("storage: negative read size %d", bytes)
+	}
+	d.readTotal += float64(bytes)
+	return d.latencySec + float64(bytes)/d.readBps, nil
+}
+
+// Write models appending the given bytes, consuming capacity.
+func (d *NVMe) Write(bytes int64) (float64, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("storage: negative write size %d", bytes)
+	}
+	if d.usedBytes+bytes > d.capacityBytes {
+		return 0, fmt.Errorf("storage: write of %d bytes with %d free: %w",
+			bytes, d.capacityBytes-d.usedBytes, ErrNoSpace)
+	}
+	d.usedBytes += bytes
+	d.writeTotal += float64(bytes)
+	return d.latencySec + float64(bytes)/d.writeBps, nil
+}
+
+// Free releases bytes (file deletion).
+func (d *NVMe) Free(bytes int64) {
+	d.usedBytes -= bytes
+	if d.usedBytes < 0 {
+		d.usedBytes = 0
+	}
+}
+
+// Totals returns cumulative read and write bytes (for stats_pub).
+func (d *NVMe) Totals() (readBytes, writeBytes float64) {
+	return d.readTotal, d.writeTotal
+}
+
+// NFS models the master node's network file system export. Client
+// throughput is bounded by the client's GbE link and by fair sharing of the
+// server's link among concurrently mounted clients.
+type NFS struct {
+	serverBps  float64
+	latencySec float64
+	mounts     map[string]*Mount
+}
+
+// NewNFS returns an NFS server reachable over the 1 GbE fabric.
+func NewNFS() *NFS {
+	return &NFS{
+		serverBps:  117.5e6, // server GbE payload bandwidth
+		latencySec: 250e-6,  // RPC round trip incl. protocol overhead
+		mounts:     make(map[string]*Mount),
+	}
+}
+
+// Mount attaches a client host to the share. Mounting twice is an error.
+func (s *NFS) Mount(host string) (*Mount, error) {
+	if host == "" {
+		return nil, fmt.Errorf("storage: empty host")
+	}
+	if _, ok := s.mounts[host]; ok {
+		return nil, fmt.Errorf("storage: host %s already mounted", host)
+	}
+	m := &Mount{server: s, host: host}
+	s.mounts[host] = m
+	return m, nil
+}
+
+// Unmount detaches a client.
+func (s *NFS) Unmount(host string) error {
+	if _, ok := s.mounts[host]; !ok {
+		return fmt.Errorf("storage: host %s not mounted", host)
+	}
+	delete(s.mounts, host)
+	return nil
+}
+
+// Clients returns the number of mounted clients.
+func (s *NFS) Clients() int { return len(s.mounts) }
+
+// Mount is one client's attachment to the NFS share.
+type Mount struct {
+	server *NFS
+	host   string
+
+	readTotal  float64
+	writeTotal float64
+}
+
+// effectiveBps fair-shares the server link among mounted clients.
+func (m *Mount) effectiveBps() float64 {
+	n := len(m.server.mounts)
+	if n < 1 {
+		n = 1
+	}
+	return m.server.serverBps / float64(n)
+}
+
+// Read models an NFS read, returning its duration.
+func (m *Mount) Read(bytes int64) (float64, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("storage: negative read size %d", bytes)
+	}
+	m.readTotal += float64(bytes)
+	return m.server.latencySec + float64(bytes)/m.effectiveBps(), nil
+}
+
+// Write models an NFS write, returning its duration.
+func (m *Mount) Write(bytes int64) (float64, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("storage: negative write size %d", bytes)
+	}
+	m.writeTotal += float64(bytes)
+	return m.server.latencySec + float64(bytes)/m.effectiveBps(), nil
+}
+
+// Totals returns the client's cumulative read/write bytes.
+func (m *Mount) Totals() (readBytes, writeBytes float64) {
+	return m.readTotal, m.writeTotal
+}

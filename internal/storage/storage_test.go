@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNVMeReadWrite(t *testing.T) {
+	d := NewNVMe()
+	if d.CapacityBytes() != 1_000_000_000_000 {
+		t.Errorf("capacity = %d, want 1 TB", d.CapacityBytes())
+	}
+	dur, err := d.Write(1.6e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dur-(1.0+80e-6)) > 1e-9 {
+		t.Errorf("write duration = %v, want ~1 s", dur)
+	}
+	dur, err = d.Read(2.0e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dur-(1.0+80e-6)) > 1e-9 {
+		t.Errorf("read duration = %v, want ~1 s", dur)
+	}
+	r, w := d.Totals()
+	if r != 2.0e9 || w != 1.6e9 {
+		t.Errorf("totals = %v, %v", r, w)
+	}
+}
+
+func TestNVMeCapacity(t *testing.T) {
+	d := NewNVMe()
+	if _, err := d.Write(d.CapacityBytes()); err != nil {
+		t.Fatalf("full write rejected: %v", err)
+	}
+	if _, err := d.Write(1); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("overflow err = %v, want ErrNoSpace", err)
+	}
+	d.Free(100)
+	if _, err := d.Write(100); err != nil {
+		t.Errorf("write after free: %v", err)
+	}
+	d.Free(1 << 62)
+	if d.UsedBytes() != 0 {
+		t.Errorf("over-free used = %d", d.UsedBytes())
+	}
+}
+
+func TestNVMeValidation(t *testing.T) {
+	d := NewNVMe()
+	if _, err := d.Read(-1); err == nil {
+		t.Error("negative read accepted")
+	}
+	if _, err := d.Write(-1); err == nil {
+		t.Error("negative write accepted")
+	}
+}
+
+func TestNFSMountLifecycle(t *testing.T) {
+	s := NewNFS()
+	m, err := s.Mount("mc01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Mount("mc01"); err == nil {
+		t.Error("double mount accepted")
+	}
+	if _, err := s.Mount(""); err == nil {
+		t.Error("empty host accepted")
+	}
+	if s.Clients() != 1 {
+		t.Errorf("clients = %d", s.Clients())
+	}
+	if _, err := m.Read(1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unmount("mc01"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unmount("mc01"); err == nil {
+		t.Error("double unmount accepted")
+	}
+}
+
+func TestNFSFairSharing(t *testing.T) {
+	s := NewNFS()
+	m1, _ := s.Mount("mc01")
+	solo, _ := m1.Read(117.5e6)
+	for i := 2; i <= 8; i++ {
+		host := string(rune('a' + i))
+		if _, err := s.Mount(host); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shared, _ := m1.Read(117.5e6)
+	// Eight clients share the server link.
+	soloXfer := solo - 250e-6
+	sharedXfer := shared - 250e-6
+	if math.Abs(sharedXfer-8*soloXfer) > 1e-6 {
+		t.Errorf("shared = %v, want 8x solo %v", sharedXfer, soloXfer)
+	}
+}
+
+func TestNFSValidation(t *testing.T) {
+	s := NewNFS()
+	m, _ := s.Mount("mc01")
+	if _, err := m.Read(-1); err == nil {
+		t.Error("negative read accepted")
+	}
+	if _, err := m.Write(-1); err == nil {
+		t.Error("negative write accepted")
+	}
+}
+
+func TestNFSTotals(t *testing.T) {
+	s := NewNFS()
+	m, _ := s.Mount("mc01")
+	_, _ = m.Read(100)
+	_, _ = m.Write(50)
+	r, w := m.Totals()
+	if r != 100 || w != 50 {
+		t.Errorf("totals = %v, %v", r, w)
+	}
+}
+
+// Property: used bytes never exceed capacity and never go negative under
+// arbitrary write/free sequences.
+func TestNVMeInvariantProperty(t *testing.T) {
+	prop := func(ops []int32) bool {
+		d := NewNVMe()
+		for _, op := range ops {
+			if op >= 0 {
+				_, _ = d.Write(int64(op) * 1e6)
+			} else {
+				d.Free(int64(-op) * 1e6)
+			}
+			if d.UsedBytes() < 0 || d.UsedBytes() > d.CapacityBytes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
