@@ -7,6 +7,7 @@ package montecimone_test
 // the reproduction harness. Run with -v to see the regenerated rows.
 
 import (
+	"fmt"
 	"testing"
 
 	"montecimone/internal/core"
@@ -366,6 +367,69 @@ func BenchmarkAblation_Backfill(b *testing.B) {
 		}
 	}
 	b.ReportMetric(ratio, "fifo/backfill")
+}
+
+// BenchmarkScheduler_PolicyThroughput drains a backfill-heavy synthetic
+// campaign (4 jobs per node, periodic wide blockers) at 8, 64 and 512
+// nodes under every registered policy, reporting drained jobs per
+// wall-clock second. The "easy-rescan" case runs the EASY policy on the
+// seed's O(n) partition-rescan structures instead of the indexed free-node
+// set and release heap — the ablation that must lose at 512 nodes.
+func BenchmarkScheduler_PolicyThroughput(b *testing.B) {
+	drain := func(b *testing.B, nodes int, opts ...sched.Option) int {
+		b.Helper()
+		engine := sim.NewEngine()
+		hosts := make([]string, nodes)
+		for i := range hosts {
+			hosts[i] = fmt.Sprintf("syn%04d", i+1)
+		}
+		s, err := sched.New(engine, "bench", hosts, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs := 4 * nodes
+		for i := 0; i < jobs; i++ {
+			spec := sched.JobSpec{
+				Name:      "j",
+				Nodes:     1 + (i*5)%8,
+				TimeLimit: 60 + float64((i*37)%240),
+			}
+			if i%16 == 0 {
+				spec.Nodes = nodes/2 + 1 // wide blocker forces backfill scans
+				spec.TimeLimit = 600
+			}
+			spec.Duration = spec.TimeLimit * 0.8
+			if _, err := s.Submit(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := engine.Run(); err != nil {
+			b.Fatal(err)
+		}
+		return jobs
+	}
+	for _, nodes := range []int{8, 64, 512} {
+		cases := []struct {
+			name string
+			opts []sched.Option
+		}{
+			{"fifo", []sched.Option{sched.WithPolicy(sched.FIFO())}},
+			{"easy", []sched.Option{sched.WithPolicy(sched.EASY())}},
+			{"sjf", []sched.Option{sched.WithPolicy(sched.SJF())}},
+			{"bestfit", []sched.Option{sched.WithPolicy(sched.BestFit())}},
+			{"easy-rescan", []sched.Option{sched.WithPolicy(sched.EASY()), sched.WithLinearScan(true)}},
+		}
+		for _, tc := range cases {
+			tc := tc
+			b.Run(fmt.Sprintf("%s/%dnodes", tc.name, nodes), func(b *testing.B) {
+				jobs := 0
+				for i := 0; i < b.N; i++ {
+					jobs += drain(b, nodes, tc.opts...)
+				}
+				b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
+			})
+		}
+	}
 }
 
 // BenchmarkAblation_CodeModel compares the medany cap against the

@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	mcsched [-nodes N] [-mitigated] [-backfill=false]
+//	mcsched [-nodes N] [-mitigated] [-policy fifo|easy|sjf|bestfit]
+//
+// Node counts beyond the paper's eight-slot enclosure run with synthetic
+// slots (thermal environments reuse the physical slots cyclically).
 package main
 
 import (
@@ -14,7 +17,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"montecimone/internal/cluster"
 	"montecimone/internal/core"
 	"montecimone/internal/power"
 	"montecimone/internal/report"
@@ -24,8 +29,17 @@ import (
 func main() {
 	nodes := flag.Int("nodes", 8, "compute nodes")
 	mitigated := flag.Bool("mitigated", false, "apply the airflow mitigation before the campaign")
+	policy := flag.String("policy", "easy", "scheduling policy: "+strings.Join(sched.PolicyNames(), "|"))
+	backfill := flag.Bool("backfill", true, "deprecated: -backfill=false is an alias for -policy fifo")
 	flag.Parse()
-	if err := run(os.Stdout, *nodes, *mitigated); err != nil {
+	if !*backfill {
+		if *policy != "easy" {
+			fmt.Fprintf(os.Stderr, "mcsched: -backfill=false conflicts with -policy %s (use -policy alone)\n", *policy)
+			os.Exit(1)
+		}
+		*policy = "fifo"
+	}
+	if err := run(os.Stdout, *nodes, *mitigated, *policy); err != nil {
 		fmt.Fprintln(os.Stderr, "mcsched:", err)
 		os.Exit(1)
 	}
@@ -40,8 +54,13 @@ type campaignJob struct {
 	duration float64
 }
 
-func run(w io.Writer, nodes int, mitigated bool) error {
-	s, err := core.NewSystem(core.Options{Nodes: nodes, NoMonitor: true})
+func run(w io.Writer, nodes int, mitigated bool, policy string) error {
+	s, err := core.NewSystem(core.Options{
+		Nodes:          nodes,
+		NoMonitor:      true,
+		Policy:         policy,
+		SyntheticSlots: nodes > cluster.DefaultNodes,
+	})
 	if err != nil {
 		return err
 	}
@@ -88,6 +107,7 @@ func run(w io.Writer, nodes int, mitigated bool) error {
 		}
 	}
 
+	fmt.Fprintf(w, "scheduler policy: %s\n", s.Scheduler.PolicyName())
 	fmt.Fprintf(w, "\n== t=%.0f s: campaign submitted\n", s.Engine.Now())
 	printQueue(w, s.Scheduler)
 
@@ -105,12 +125,13 @@ func run(w io.Writer, nodes int, mitigated bool) error {
 		return err
 	}
 	fmt.Fprintf(w, "\n== t=%.0f s: final accounting (sacct)\n", s.Engine.Now())
-	acct := &report.Table{Headers: []string{"JobID", "Name", "State", "Nodes", "Start", "End"}}
+	acct := &report.Table{Headers: []string{"JobID", "Name", "State", "Nodes", "Start", "End", "Policy"}}
 	for _, row := range s.Scheduler.Sacct() {
 		acct.AddRow(
 			fmt.Sprintf("%d", row.ID), row.Name, string(row.State),
 			fmt.Sprintf("%d", row.Nodes),
 			fmt.Sprintf("%.0f", row.Start), fmt.Sprintf("%.0f", row.End),
+			s.Scheduler.PolicyName(),
 		)
 	}
 	return acct.Write(w)

@@ -7,7 +7,7 @@ import (
 
 func TestCampaignOriginalEnclosure(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 8, false); err != nil {
+	if err := run(&sb, 8, false, "easy"); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -21,11 +21,14 @@ func TestCampaignOriginalEnclosure(t *testing.T) {
 	if !strings.Contains(out, "COMPLETED") {
 		t.Error("no job completed")
 	}
+	if !strings.Contains(out, "scheduler policy: easy") {
+		t.Error("missing policy line")
+	}
 }
 
 func TestCampaignMitigated(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 8, true); err != nil {
+	if err := run(&sb, 8, true, "easy"); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -34,5 +37,38 @@ func TestCampaignMitigated(t *testing.T) {
 	}
 	if !strings.Contains(out, "hpl-full") {
 		t.Error("missing campaign jobs")
+	}
+}
+
+func TestCampaignAlternatePolicies(t *testing.T) {
+	for _, policy := range []string{"fifo", "sjf", "bestfit"} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(&sb, 8, true, policy); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			if !strings.Contains(out, "scheduler policy: "+policy) {
+				t.Errorf("missing policy line for %s", policy)
+			}
+			// The mitigated campaign must fully complete under any policy
+			// (mid-run squeue snapshots may show PENDING; the final
+			// accounting must not).
+			_, acct, found := strings.Cut(out, "final accounting")
+			if !found {
+				t.Fatalf("missing accounting section:\n%s", out)
+			}
+			if strings.Contains(acct, "NODE_FAIL") || strings.Contains(acct, "PENDING") || strings.Contains(acct, "RUNNING") {
+				t.Errorf("campaign did not drain cleanly under %s:\n%s", policy, acct)
+			}
+		})
+	}
+}
+
+func TestUnknownPolicyRejected(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 8, false, "lottery"); err == nil {
+		t.Error("unknown policy accepted")
 	}
 }

@@ -1,0 +1,3 @@
+module montecimone
+
+go 1.21

@@ -39,6 +39,11 @@ type Config struct {
 	// StepPeriod is the node-model integration period in seconds
 	// (default 0.1 s).
 	StepPeriod float64
+	// SyntheticSlots lifts the physical thermal.NumSlots ceiling on Nodes
+	// for synthetic scale-out studies (e.g. large scheduler partitions):
+	// nodes beyond the paper's enclosure reuse the slot thermal
+	// environments modulo thermal.NumSlots.
+	SyntheticSlots bool
 }
 
 // Cluster is the assembled machine.
@@ -73,8 +78,11 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 	if n == 0 {
 		n = DefaultNodes
 	}
-	if n < 1 || n > thermal.NumSlots {
+	if n < 1 {
 		return nil, fmt.Errorf("cluster: node count %d outside [1,%d]", n, thermal.NumSlots)
+	}
+	if n > thermal.NumSlots && !cfg.SyntheticSlots {
+		return nil, fmt.Errorf("cluster: node count %d outside [1,%d] (set SyntheticSlots to scale beyond the enclosure)", n, thermal.NumSlots)
 	}
 	machine := cfg.Machine
 	if machine == nil {
@@ -112,7 +120,7 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 	for id := 1; id <= n; id++ {
 		nd, err := node.New(node.Config{
 			ID:        id,
-			Slot:      id - 1,
+			Slot:      (id - 1) % thermal.NumSlots,
 			Machine:   machine,
 			Enclosure: enc,
 			HPMPatch:  cfg.HPMPatch,

@@ -258,3 +258,31 @@ func TestSmallCluster(t *testing.T) {
 		t.Errorf("blades = %v", blades)
 	}
 }
+
+func TestSyntheticSlots(t *testing.T) {
+	e := sim.NewEngine()
+	if _, err := New(e, Config{Nodes: 12}); err == nil {
+		t.Error("12 nodes accepted without SyntheticSlots")
+	}
+	_, c := newCluster(t, Config{Nodes: 12, SyntheticSlots: true})
+	if c.Size() != 12 {
+		t.Fatalf("size = %d, want 12", c.Size())
+	}
+	hosts := c.Hostnames()
+	if hosts[8] != "mc09" || hosts[11] != "mc12" {
+		t.Errorf("synthetic hostnames = %v", hosts[8:])
+	}
+	if c.Fabric().Nodes() != 12 {
+		t.Errorf("fabric nodes = %d, want 12", c.Fabric().Nodes())
+	}
+	// Synthetic nodes boot like physical ones (slot envs wrap modulo 8).
+	if err := c.BootAndSettle(1); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	for i := 0; i < c.Size(); i++ {
+		if c.Node(i).State() != node.StateRunning {
+			t.Errorf("node %d state %s after boot", i+1, c.Node(i).State())
+		}
+	}
+}

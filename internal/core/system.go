@@ -33,6 +33,12 @@ type Options struct {
 	Seed int64
 	// StepPeriod overrides the node integration period.
 	StepPeriod float64
+	// Policy selects the scheduler policy by name (sched.PolicyNames;
+	// default "easy", the production configuration).
+	Policy string
+	// SyntheticSlots permits Nodes beyond the physical eight-slot
+	// enclosure; extra nodes reuse slot thermal environments cyclically.
+	SyntheticSlots bool
 }
 
 // System is the assembled testbed.
@@ -63,14 +69,21 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	engine := sim.NewEngine()
 	cl, err := cluster.New(engine, cluster.Config{
-		Nodes:      opts.Nodes,
-		HPMPatch:   opts.HPMPatch,
-		StepPeriod: opts.StepPeriod,
+		Nodes:          opts.Nodes,
+		HPMPatch:       opts.HPMPatch,
+		StepPeriod:     opts.StepPeriod,
+		SyntheticSlots: opts.SyntheticSlots,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	sc, err := sched.New(engine, "cimone", cl.Hostnames())
+	policy := sched.EASY()
+	if opts.Policy != "" {
+		if policy, err = sched.PolicyByName(opts.Policy); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	sc, err := sched.New(engine, "cimone", cl.Hostnames(), sched.WithPolicy(policy))
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// freeIndex presents the idle node set to the scheduling passes. Both
+// implementations report idle hosts in partition order, which keeps
+// allocation deterministic.
+type freeIndex interface {
+	// Count returns the number of idle nodes.
+	Count() int
+	// Hosts returns the idle hostnames in partition order.
+	Hosts() []string
+	// Add records that the node at partition index idx became idle.
+	Add(idx int)
+	// Remove records that the node at partition index idx left the idle set.
+	Remove(idx int)
+}
+
+// indexedFree keeps the idle nodes as a sorted slice of partition indexes,
+// maintained incrementally: Count is O(1) and Hosts touches only the idle
+// set, so a scheduling pass never rescans the whole partition.
+type indexedFree struct {
+	order []string
+	idx   []int // idle partition indexes, ascending
+}
+
+func (f *indexedFree) Count() int { return len(f.idx) }
+
+func (f *indexedFree) Hosts() []string {
+	out := make([]string, len(f.idx))
+	for i, n := range f.idx {
+		out[i] = f.order[n]
+	}
+	return out
+}
+
+func (f *indexedFree) Add(n int) {
+	i := sort.SearchInts(f.idx, n)
+	if i < len(f.idx) && f.idx[i] == n {
+		return
+	}
+	f.idx = append(f.idx, 0)
+	copy(f.idx[i+1:], f.idx[i:])
+	f.idx[i] = n
+}
+
+func (f *indexedFree) Remove(n int) {
+	i := sort.SearchInts(f.idx, n)
+	if i < len(f.idx) && f.idx[i] == n {
+		f.idx = append(f.idx[:i], f.idx[i+1:]...)
+	}
+}
+
+// linearFree reproduces the seed scheduler's O(nodes) full-partition
+// rescan on every query. It exists purely as the ablation baseline for
+// the throughput benchmarks (see WithLinearScan).
+type linearFree struct{ s *Scheduler }
+
+func (f *linearFree) Count() int {
+	n := 0
+	for _, h := range f.s.order {
+		if f.s.nodes[h].state == NodeIdle {
+			n++
+		}
+	}
+	return n
+}
+
+func (f *linearFree) Hosts() []string {
+	var idle []string
+	for _, h := range f.s.order {
+		if f.s.nodes[h].state == NodeIdle {
+			idle = append(idle, h)
+		}
+	}
+	return idle
+}
+
+func (f *linearFree) Add(int) {}
+
+func (f *linearFree) Remove(int) {}
+
+// releaseEntry is one running job's future node release (start time plus
+// wall limit).
+type releaseEntry struct {
+	at    float64
+	nodes int
+	jobID int
+	pos   int // heap position, -1 once removed
+}
+
+// releaseHeap is a min-heap on (at, jobID), pushed on job start and pruned
+// on job end, so reservation() reads releases without rebuilding them from
+// a partition scan.
+type releaseHeap []*releaseEntry
+
+func (h releaseHeap) Len() int { return len(h) }
+
+func (h releaseHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].jobID < h[j].jobID
+}
+
+func (h releaseHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+
+func (h *releaseHeap) Push(x any) {
+	e := x.(*releaseEntry)
+	e.pos = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *releaseHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	e.pos = -1
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+func (h *releaseHeap) push(e *releaseEntry) { heap.Push(h, e) }
+
+func (h *releaseHeap) remove(e *releaseEntry) {
+	if e.pos >= 0 && e.pos < h.Len() && (*h)[e.pos] == e {
+		heap.Remove(h, e.pos)
+	}
+}
+
+// scratch returns a value-copy min-heap of the pending releases that can
+// be consumed in (at, jobID) order without disturbing the live entries'
+// heap positions. A copy of a heap slice is already heap-ordered, so no
+// re-heapify is needed.
+func (h releaseHeap) scratch() scratchHeap {
+	out := make(scratchHeap, len(h))
+	for i, e := range h {
+		out[i] = *e
+	}
+	return out
+}
+
+// scratchHeap is a value-based min-heap over releaseEntry with the same
+// ordering as releaseHeap but without position tracking.
+type scratchHeap []releaseEntry
+
+func (h scratchHeap) Len() int { return len(h) }
+
+func (h scratchHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].jobID < h[j].jobID
+}
+
+func (h scratchHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *scratchHeap) Push(x any) { *h = append(*h, x.(releaseEntry)) }
+
+func (h *scratchHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

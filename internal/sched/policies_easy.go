@@ -1,0 +1,15 @@
+package sched
+
+// easyPolicy is the production configuration from the paper: FIFO queue
+// priority plus EASY backfill. A later job may start out of order only if
+// it ends before the blocked head's shadow start time or fits in the nodes
+// the head will not need — so the head's reservation is never delayed.
+// Candidates are tried in submission order, as slurmctld does.
+type easyPolicy struct{ fifoPolicy }
+
+// EASY returns the default FIFO + EASY-backfill policy.
+func EASY() Policy { return easyPolicy{} }
+
+func (easyPolicy) Name() string { return "easy" }
+
+func (easyPolicy) Backfill() bool { return true }

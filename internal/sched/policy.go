@@ -1,0 +1,83 @@
+package sched
+
+import "fmt"
+
+// Policy customises the scheduler's three decision points: the priority
+// order of the pending queue, the hosts allocated to a starting job, and
+// the backfill pass behind a blocked head (whether it runs and in which
+// order candidates are tried).
+//
+// Whatever the policy, when the highest-priority pending job cannot start
+// the engine computes an EASY reservation for it (shadow time plus
+// spare-node budget) and no backfill admission may delay that reservation.
+// For policies that keep submission order (fifo, easy, bestfit) this makes
+// every job start eventually even under continuous arrivals; a reordering
+// policy such as sjf protects only its own priority head, so jobs it
+// deprioritises can wait as long as higher-priority work keeps arriving
+// (they still run on any finite workload).
+type Policy interface {
+	// Name identifies the policy ("easy", "fifo", ...).
+	Name() string
+	// Less reports whether job a has strictly higher queue priority than
+	// b. The scheduler sorts the pending queue with a stable sort, so
+	// equal priorities keep submission order.
+	Less(a, b *Job) bool
+	// Backfill reports whether a backfill pass runs behind a blocked head.
+	Backfill() bool
+	// BackfillOrder returns the order in which backfill candidates are
+	// tried. cands holds the pending jobs behind the head in queue
+	// priority order and must not be mutated in place.
+	BackfillOrder(cands []*Job) []*Job
+	// PickHosts selects job.Spec.Nodes hosts for a starting job. free
+	// lists the idle hostnames in partition order; the returned hosts must
+	// be distinct members of free.
+	PickHosts(free []string, job *Job) []string
+}
+
+// PolicyNames lists the registered policy names in presentation order.
+func PolicyNames() []string { return []string{"fifo", "easy", "sjf", "bestfit"} }
+
+// PolicyByName resolves a registered policy by name.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "fifo":
+		return FIFO(), nil
+	case "easy":
+		return EASY(), nil
+	case "sjf":
+		return SJF(), nil
+	case "bestfit":
+		return BestFit(), nil
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q (have %v)", name, PolicyNames())
+}
+
+// Option configures the scheduler.
+type Option interface{ apply(*Scheduler) }
+
+type policyOption struct{ p Policy }
+
+func (o policyOption) apply(s *Scheduler) { s.policy = o.p }
+
+// WithPolicy selects the scheduling policy (default EASY).
+func WithPolicy(p Policy) Option { return policyOption{p} }
+
+// WithBackfill enables or disables EASY backfill (default on, as in the
+// production SLURM configuration). It is legacy sugar for
+// WithPolicy(EASY()) / WithPolicy(FIFO()).
+func WithBackfill(enabled bool) Option {
+	if enabled {
+		return WithPolicy(EASY())
+	}
+	return WithPolicy(FIFO())
+}
+
+type linearScanOption bool
+
+func (o linearScanOption) apply(s *Scheduler) { s.linearScan = bool(o) }
+
+// WithLinearScan reinstates the seed scheduler's O(nodes) partition
+// rescans for the idle set and the reservation computation. It exists as
+// the ablation baseline for the scheduler-throughput benchmarks and has no
+// other use.
+func WithLinearScan(enabled bool) Option { return linearScanOption(enabled) }

@@ -3,15 +3,24 @@
 // production services brought up on the cluster).
 //
 // The scheduler manages one partition of named nodes, accepts batch jobs
-// with node counts and wall-time limits, runs a FIFO queue with optional
-// EASY backfill, and reacts to node failures (the thermal halt of node 7 in
-// the paper surfaces as a NODE_FAIL job state). sinfo/squeue/sacct-style
-// views expose the state. All timing is driven by the shared discrete-event
-// engine.
+// with node counts and wall-time limits, and reacts to node failures (the
+// thermal halt of node 7 in the paper surfaces as a NODE_FAIL job state).
+// sinfo/squeue/sacct-style views expose the state. All timing is driven by
+// the shared discrete-event engine.
+//
+// Scheduling decisions are delegated to a pluggable Policy (see policy.go):
+// the default EASY policy reproduces the production FIFO+EASY-backfill
+// configuration, and FIFO, shortest-job-first and best-fit packing
+// variants ship alongside it. The hot paths are indexed — an incrementally
+// maintained free-node set and a release heap — so synthetic partitions far
+// beyond the paper's eight nodes schedule without O(nodes) rescans per
+// decision.
 package sched
 
 import (
+	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 
 	"montecimone/internal/sim"
@@ -74,6 +83,7 @@ type Job struct {
 	ended     float64
 	hosts     []string
 	endEvent  *sim.Event
+	release   *releaseEntry
 }
 
 // State returns the job state.
@@ -94,35 +104,30 @@ func (j *Job) EndTime() float64 { return j.ended }
 
 type nodeInfo struct {
 	host  string
+	idx   int // position in the partition order
 	state NodeState
 	jobID int // running job, 0 if none
 }
 
-// Option configures the scheduler.
-type Option interface{ apply(*Scheduler) }
-
-type backfillOption bool
-
-func (b backfillOption) apply(s *Scheduler) { s.backfill = bool(b) }
-
-// WithBackfill enables or disables EASY backfill (default on, as in the
-// production SLURM configuration).
-func WithBackfill(enabled bool) Option { return backfillOption(enabled) }
-
 // Scheduler is the controller daemon (slurmctld).
 type Scheduler struct {
-	engine    *sim.Engine
-	partition string
-	backfill  bool
+	engine      *sim.Engine
+	partition   string
+	policy      Policy
+	linearScan  bool
+	fifoOrdered bool // policy priority == submission order; skip sorting
 
-	nodes  map[string]*nodeInfo
-	order  []string // stable allocation order
-	queue  []*Job   // pending, FIFO
-	jobs   map[int]*Job
-	nextID int
+	nodes    map[string]*nodeInfo
+	order    []string // stable allocation order
+	free     freeIndex
+	releases releaseHeap
+	queue    []*Job // pending, submission order
+	jobs     map[int]*Job
+	nextID   int
 }
 
-// New builds a scheduler over the given hostnames.
+// New builds a scheduler over the given hostnames. The default policy is
+// EASY backfill, matching the production SLURM configuration.
 func New(engine *sim.Engine, partition string, hostnames []string, opts ...Option) (*Scheduler, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("sched: nil engine")
@@ -133,23 +138,39 @@ func New(engine *sim.Engine, partition string, hostnames []string, opts ...Optio
 	s := &Scheduler{
 		engine:    engine,
 		partition: partition,
-		backfill:  true,
+		policy:    EASY(),
 		nodes:     make(map[string]*nodeInfo, len(hostnames)),
 		jobs:      make(map[int]*Job),
 		nextID:    1,
 	}
-	for _, h := range hostnames {
+	for i, h := range hostnames {
 		if _, dup := s.nodes[h]; dup {
 			return nil, fmt.Errorf("sched: duplicate hostname %q", h)
 		}
-		s.nodes[h] = &nodeInfo{host: h, state: NodeIdle}
+		s.nodes[h] = &nodeInfo{host: h, idx: i, state: NodeIdle}
 		s.order = append(s.order, h)
 	}
 	for _, o := range opts {
 		o.apply(s)
 	}
+	if s.policy == nil {
+		return nil, fmt.Errorf("sched: nil policy")
+	}
+	_, s.fifoOrdered = s.policy.(interface{ keepsSubmissionOrder() })
+	if s.linearScan {
+		s.free = &linearFree{s: s}
+	} else {
+		idx := make([]int, len(s.order))
+		for i := range idx {
+			idx[i] = i
+		}
+		s.free = &indexedFree{order: s.order, idx: idx}
+	}
 	return s, nil
 }
+
+// PolicyName returns the active scheduling policy's name.
+func (s *Scheduler) PolicyName() string { return s.policy.Name() }
 
 // Submit queues a job; scheduling is attempted at the current virtual time.
 func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
@@ -204,6 +225,9 @@ func (s *Scheduler) NodeDown(host string) error {
 		return nil
 	}
 	victim := ni.jobID
+	if ni.state == NodeIdle {
+		s.free.Remove(ni.idx)
+	}
 	ni.state = NodeDown
 	ni.jobID = 0
 	if victim != 0 {
@@ -229,6 +253,7 @@ func (s *Scheduler) NodeUp(host string) error {
 	}
 	if ni.state == NodeDown {
 		ni.state = NodeIdle
+		s.free.Add(ni.idx)
 	}
 	s.kick()
 	return nil
@@ -249,87 +274,151 @@ func (s *Scheduler) kick() {
 	}
 }
 
-func (s *Scheduler) idleHosts() []string {
-	var idle []string
-	for _, h := range s.order {
-		if s.nodes[h].state == NodeIdle {
-			idle = append(idle, h)
-		}
+// pendingByPriority returns the pending queue in the policy's priority
+// order; the sort is stable, so equal priorities keep submission order.
+// Policies that keep submission order outright skip the sort.
+func (s *Scheduler) pendingByPriority() []*Job {
+	out := append([]*Job(nil), s.queue...)
+	if !s.fifoOrdered {
+		sort.SliceStable(out, func(i, j int) bool { return s.policy.Less(out[i], out[j]) })
 	}
-	return idle
+	return out
 }
 
-// trySchedule starts the queue head if it fits, then (optionally) EASY
-// backfills later jobs that cannot delay the head's reservation.
+// trySchedule starts the highest-priority pending job while it fits, then
+// (when the policy asks for it) runs an EASY backfill pass: later jobs may
+// start out of order as long as they cannot delay the blocked head's
+// reservation.
 func (s *Scheduler) trySchedule() {
+	// Priority order is invariant while heads are started (free nodes only
+	// shrink), so one sort serves the whole pass — unless an OnStart
+	// callback submits new jobs, which forces a re-sort.
+	resort := true
+	var order []*Job
+	idx := 0
 	for {
-		progressed := false
-		idle := s.idleHosts()
-		if len(s.queue) > 0 && s.queue[0].Spec.Nodes <= len(idle) {
-			s.start(s.queue[0], idle[:s.queue[0].Spec.Nodes])
-			progressed = true
+		if resort {
+			order = s.pendingByPriority()
+			idx = 0
+			resort = false
 		}
-		if !progressed {
+		if idx >= len(order) {
 			break
 		}
-	}
-	if !s.backfill || len(s.queue) < 2 {
-		return
-	}
-	// EASY backfill: compute the head job's shadow start from running
-	// jobs' wall-time limits, then start any later job that either ends
-	// before the shadow time or fits in the nodes the head won't need.
-	head := s.queue[0]
-	shadow, extra := s.reservation(head)
-	for i := 1; i < len(s.queue); {
-		cand := s.queue[i]
-		idle := s.idleHosts()
-		fitsNow := cand.Spec.Nodes <= len(idle)
-		now := s.engine.Now()
-		harmless := now+cand.Spec.TimeLimit <= shadow || cand.Spec.Nodes <= extra
-		if fitsNow && harmless {
-			s.start(cand, idle[:cand.Spec.Nodes])
-			if cand.Spec.Nodes <= extra {
-				extra -= cand.Spec.Nodes
-			}
-			// start removed cand from the queue; do not advance i.
+		head := order[idx]
+		if head.state != StatePending {
+			// An OnStart callback cancelled it out of the snapshot.
+			idx++
 			continue
 		}
-		i++
+		if head.Spec.Nodes > s.free.Count() {
+			break
+		}
+		before := s.nextID
+		s.start(head, s.pickHosts(head))
+		idx++
+		resort = s.nextID != before
+	}
+	if !s.policy.Backfill() || len(s.queue) < 2 {
+		return
+	}
+	// Compute the head's shadow start from running jobs' wall-time limits,
+	// then admit any later job that either ends before the shadow time or
+	// fits in the nodes the head won't need.
+	order = s.pendingByPriority()
+	shadow, extra := s.reservation(order[0])
+	now := s.engine.Now()
+	for _, cand := range s.policy.BackfillOrder(order[1:]) {
+		if cand.state != StatePending || cand.Spec.Nodes > s.free.Count() {
+			continue
+		}
+		endsBeforeShadow := now+cand.Spec.TimeLimit <= shadow
+		if !endsBeforeShadow && cand.Spec.Nodes > extra {
+			continue
+		}
+		s.start(cand, s.pickHosts(cand))
+		if !endsBeforeShadow {
+			// Only charge the spare-node budget when it was the admitting
+			// reason: a job that ends before the shadow time has returned
+			// its nodes by then, whichever nodes it borrowed.
+			extra -= cand.Spec.Nodes
+		}
 	}
 }
 
 // reservation returns the head job's expected start (shadow time) and the
 // number of nodes that remain free at that time beyond the head's need.
+// When the head can never start with the nodes currently in service (e.g.
+// enough of the partition is down), it returns +Inf: no backfill can delay
+// a start that is not coming, so every fitting candidate is harmless.
 func (s *Scheduler) reservation(head *Job) (shadow float64, extraNodes int) {
-	type release struct {
-		at    float64
-		hosts int
-	}
-	avail := len(s.idleHosts())
+	avail := s.free.Count()
 	if head.Spec.Nodes <= avail {
 		return s.engine.Now(), avail - head.Spec.Nodes
 	}
-	var releases []release
+	if s.linearScan {
+		return s.reservationRescan(head, avail)
+	}
+	// Walk the maintained release heap in time order on a value-copy
+	// scratch heap: O(releases) to heapify, then only as many pops as it
+	// takes to fit the head. Releases at the same instant free together,
+	// so a whole group is accumulated before the fit test.
+	scratch := s.releases.scratch()
+	for scratch.Len() > 0 {
+		at := scratch[0].at
+		for scratch.Len() > 0 && scratch[0].at == at {
+			avail += scratch[0].nodes
+			heap.Pop(&scratch)
+		}
+		if avail >= head.Spec.Nodes {
+			return at, avail - head.Spec.Nodes
+		}
+	}
+	return math.Inf(1), 0
+}
+
+// reservationRescan recomputes the reservation the way the seed scheduler
+// did — a full partition scan per pass — and is kept, together with
+// linearFree, as the benchmark baseline for the indexed structures.
+func (s *Scheduler) reservationRescan(head *Job, avail int) (float64, int) {
 	perJob := make(map[int]int)
 	for _, h := range s.order {
 		if s.nodes[h].state == NodeAlloc {
 			perJob[s.nodes[h].jobID]++
 		}
 	}
+	releases := make([]releaseEntry, 0, len(perJob))
 	for id, count := range perJob {
 		j := s.jobs[id]
-		releases = append(releases, release{at: j.started + j.Spec.TimeLimit, hosts: count})
+		releases = append(releases, releaseEntry{at: j.started + j.Spec.TimeLimit, nodes: count, jobID: id})
 	}
-	sort.Slice(releases, func(i, k int) bool { return releases[i].at < releases[k].at })
-	for _, r := range releases {
-		avail += r.hosts
+	sort.Slice(releases, func(i, k int) bool {
+		if releases[i].at != releases[k].at {
+			return releases[i].at < releases[k].at
+		}
+		return releases[i].jobID < releases[k].jobID
+	})
+	for i := 0; i < len(releases); {
+		at := releases[i].at
+		for i < len(releases) && releases[i].at == at {
+			avail += releases[i].nodes
+			i++
+		}
 		if avail >= head.Spec.Nodes {
-			return r.at, avail - head.Spec.Nodes
+			return at, avail - head.Spec.Nodes
 		}
 	}
-	// Unreachable if the submission validated against partition size.
-	return s.engine.Now(), 0
+	return math.Inf(1), 0
+}
+
+// pickHosts asks the policy for the job's allocation and validates it.
+func (s *Scheduler) pickHosts(job *Job) []string {
+	hosts := s.policy.PickHosts(s.free.Hosts(), job)
+	if len(hosts) != job.Spec.Nodes {
+		panic(fmt.Sprintf("sched: policy %s picked %d hosts for job %d (want %d)",
+			s.policy.Name(), len(hosts), job.ID, job.Spec.Nodes))
+	}
+	return hosts
 }
 
 func (s *Scheduler) start(job *Job, hosts []string) {
@@ -338,9 +427,17 @@ func (s *Scheduler) start(job *Job, hosts []string) {
 	job.started = s.engine.Now()
 	job.hosts = append([]string(nil), hosts...)
 	for _, h := range hosts {
-		s.nodes[h].state = NodeAlloc
-		s.nodes[h].jobID = job.ID
+		ni := s.nodes[h]
+		if ni == nil || ni.state != NodeIdle {
+			panic(fmt.Sprintf("sched: policy %s picked non-idle host %q for job %d",
+				s.policy.Name(), h, job.ID))
+		}
+		ni.state = NodeAlloc
+		ni.jobID = job.ID
+		s.free.Remove(ni.idx)
 	}
+	job.release = &releaseEntry{at: job.started + job.Spec.TimeLimit, nodes: len(hosts), jobID: job.ID}
+	s.releases.push(job.release)
 	runFor := job.Spec.Duration
 	final := StateCompleted
 	if job.Spec.TimeLimit < runFor {
@@ -368,11 +465,16 @@ func (s *Scheduler) endJob(job *Job, state JobState) {
 		job.endEvent.Cancel()
 		job.endEvent = nil
 	}
+	if job.release != nil {
+		s.releases.remove(job.release)
+		job.release = nil
+	}
 	for _, h := range job.hosts {
 		if ni := s.nodes[h]; ni.jobID == job.ID {
 			ni.jobID = 0
 			if ni.state == NodeAlloc {
 				ni.state = NodeIdle
+				s.free.Add(ni.idx)
 			}
 		}
 	}
@@ -411,10 +513,11 @@ type JobRow struct {
 	TimeLimit float64
 }
 
-// Squeue lists pending and running jobs, pending in queue order first.
+// Squeue lists pending and running jobs, pending first in the policy's
+// priority order.
 func (s *Scheduler) Squeue() []JobRow {
 	var rows []JobRow
-	for _, j := range s.queue {
+	for _, j := range s.pendingByPriority() {
 		rows = append(rows, s.row(j))
 	}
 	var running []JobRow
