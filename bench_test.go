@@ -8,9 +8,11 @@ package montecimone_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"montecimone/internal/core"
+	"montecimone/internal/examon"
 	"montecimone/internal/hpl"
 	"montecimone/internal/mpi"
 	"montecimone/internal/netsim"
@@ -562,6 +564,116 @@ func BenchmarkExtension_MPIPingPong(b *testing.B) {
 		latUs = res.LatencySec * 1e6
 	}
 	b.ReportMetric(latUs, "oneway-us")
+}
+
+// BenchmarkTelemetryIngest measures the v2 typed telemetry path — one
+// PublishBatch per node per tick flowing straight into storage as Sample
+// values — against the seed's string path, where every counter crosses the
+// broker as a Sprintf-rendered topic/payload pair that the storage side
+// re-parses (kept as the ablation baseline). 64 synthetic nodes, 4 cores,
+// 2 counters each: one benchmark iteration ingests one cluster-wide tick
+// (512 samples). The typed batch + sharded-store case must beat the string
+// + parse baseline by >= 5x.
+func BenchmarkTelemetryIngest(b *testing.B) {
+	const (
+		nodes = 64
+		cores = 4
+	)
+	metrics := []string{"instret", "cycle"}
+	hosts := make([]string, nodes)
+	for i := range hosts {
+		hosts[i] = fmt.Sprintf("syn%03d", i+1)
+	}
+	perTick := nodes * cores * len(metrics)
+
+	attach := func(b *testing.B, st examon.Storage) *examon.Broker {
+		b.Helper()
+		broker := examon.NewBroker()
+		db, err := examon.NewTSDBOn(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Attach(broker); err != nil {
+			b.Fatal(err)
+		}
+		return broker
+	}
+	check := func(b *testing.B, st examon.Storage) {
+		b.Helper()
+		if got := st.SeriesCount(); got != perTick {
+			b.Fatalf("stored %d series, want %d", got, perTick)
+		}
+	}
+
+	runString := func(b *testing.B, st examon.Storage) {
+		broker := attach(b, st)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now := float64(i)
+			for _, host := range hosts {
+				for core := 0; core < cores; core++ {
+					for _, m := range metrics {
+						topic := examon.PMUTopic("unibo", "syn", host, core, m)
+						if err := broker.Publish(topic, examon.FormatPayload(float64(i), now)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		}
+		b.StopTimer()
+		check(b, st)
+		b.ReportMetric(float64(perTick*b.N)/b.Elapsed().Seconds(), "samples/s")
+	}
+	runTyped := func(b *testing.B, st examon.Storage, workers int) {
+		broker := attach(b, st)
+		publishHosts := func(myHosts []string, n int) {
+			batch := make([]examon.Sample, 0, cores*len(metrics))
+			for i := 0; i < n; i++ {
+				now := float64(i)
+				for _, host := range myHosts {
+					batch = batch[:0]
+					for core := 0; core < cores; core++ {
+						for _, m := range metrics {
+							batch = append(batch, examon.Sample{
+								Tags: examon.Tags{Org: "unibo", Cluster: "syn", Node: host,
+									Plugin: "pmu_pub", Core: core, Metric: m},
+								T: now, V: float64(i),
+							})
+						}
+					}
+					if err := broker.PublishBatch(batch); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}
+		b.ResetTimer()
+		if workers <= 1 {
+			publishHosts(hosts, b.N)
+		} else {
+			var wg sync.WaitGroup
+			per := nodes / workers
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(myHosts []string) {
+					defer wg.Done()
+					publishHosts(myHosts, b.N)
+				}(hosts[w*per : (w+1)*per])
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		check(b, st)
+		b.ReportMetric(float64(perTick*b.N)/b.Elapsed().Seconds(), "samples/s")
+	}
+
+	b.Run("string/mem/64nodes", func(b *testing.B) { runString(b, examon.NewMemStore()) })
+	b.Run("typed/mem/64nodes", func(b *testing.B) { runTyped(b, examon.NewMemStore(), 1) })
+	b.Run("typed/sharded/64nodes", func(b *testing.B) { runTyped(b, examon.NewShardedStore(0), 1) })
+	b.Run("typed/sharded/parallel8/64nodes", func(b *testing.B) { runTyped(b, examon.NewShardedStore(0), 8) })
+	b.Run("typed/ring/64nodes", func(b *testing.B) { runTyped(b, examon.NewRingStore(0), 1) })
 }
 
 // BenchmarkAblation_Airflow sweeps the enclosure configurations: steady

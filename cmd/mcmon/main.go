@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mcmon [-nodes N] [-workload hpl] [-duration 120] [-serve :8080]
+//	mcmon [-nodes N] [-workload hpl] [-duration 120] [-backend mem] [-serve :8080]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 
 	"montecimone/internal/core"
 	"montecimone/internal/examon"
@@ -26,16 +27,21 @@ func main() {
 	nodes := flag.Int("nodes", 8, "compute nodes")
 	workload := flag.String("workload", "hpl", "workload to monitor (hpl, stream.ddr, stream.l2, qe, idle)")
 	duration := flag.Float64("duration", 120, "virtual seconds to monitor")
+	backend := flag.String("backend", "mem",
+		"ExaMon storage engine ("+strings.Join(examon.StorageBackends(), ", ")+")")
 	serve := flag.String("serve", "", "serve the REST API on this address after the run (e.g. :8080)")
 	flag.Parse()
-	if err := run(os.Stdout, *nodes, *workload, *duration, *serve); err != nil {
+	if err := run(os.Stdout, *nodes, *workload, *duration, *backend, *serve); err != nil {
 		fmt.Fprintln(os.Stderr, "mcmon:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, nodes int, workload string, duration float64, serve string) error {
-	s, err := core.NewSystem(core.Options{Nodes: nodes, HPMPatch: true})
+func run(w io.Writer, nodes int, workload string, duration float64, backend, serve string) error {
+	if backend == "" {
+		backend = "mem" // examon.NewStorage's default, named for the summary line
+	}
+	s, err := core.NewSystem(core.Options{Nodes: nodes, HPMPatch: true, Backend: backend})
 	if err != nil {
 		return err
 	}
@@ -60,7 +66,8 @@ func run(w io.Writer, nodes int, workload string, duration float64, serve string
 	end := s.Engine.Now()
 
 	fmt.Fprintf(w, "monitored %d nodes for %.0f virtual seconds under %q\n", nodes, duration, workload)
-	fmt.Fprintf(w, "broker messages: %d; stored series: %d\n", s.Broker.Published(), s.DB.SeriesCount())
+	fmt.Fprintf(w, "broker messages: %d; stored series: %d (backend %s)\n",
+		s.Broker.Published(), s.DB.SeriesCount(), backend)
 
 	// Per-node instruction-rate summary from the pmu_pub data.
 	hm, err := examon.BuildHeatmap(s.DB, hosts, examon.HeatmapOptions{
@@ -91,7 +98,7 @@ func run(w io.Writer, nodes int, workload string, duration float64, serve string
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "serving ExaMon REST API on %s (GET /api/v1/series, /api/v1/query)\n", serve)
+	fmt.Fprintf(w, "serving ExaMon REST API on %s (GET /api/v1/series, /api/v1/query, /api/v2/query)\n", serve)
 	return http.ListenAndServe(serve, srv)
 }
 

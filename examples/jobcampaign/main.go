@@ -109,19 +109,19 @@ func run() error {
 	fmt.Print(report.Heatmap("instructions/s per node over the campaign", hm))
 
 	// One batch query like the paper's analysis scripts: mean cpu_temp
-	// per node while the big HPL job ran.
+	// per node while the big HPL job ran, aggregated server-side by the
+	// v2 query layer instead of copying the series out and averaging here.
 	fmt.Println("\nmean cpu_temp during the campaign:")
-	for _, h := range hosts {
-		series := system.DB.Query(examon.Filter{
-			Node: h, Plugin: "dstat_pub", Metric: "temperature.cpu_temp",
-			From: start, To: end,
-		})
-		if len(series) == 1 && len(series[0].Points) > 0 {
-			sum := 0.0
-			for _, p := range series[0].Points {
-				sum += p.V
-			}
-			fmt.Printf("  %s: %.1f degC over %d samples\n", h, sum/float64(len(series[0].Points)), len(series[0].Points))
+	agg, err := examon.QueryAgg(system.DB, examon.Filter{
+		Plugin: "dstat_pub", Metric: "temperature.cpu_temp",
+		From: start, To: end,
+	}, examon.AggOptions{Op: examon.AggAvg})
+	if err != nil {
+		return err
+	}
+	for _, s := range agg {
+		if len(s.Points) == 1 {
+			fmt.Printf("  %s: %.1f degC over %d samples\n", s.Tags.Node, s.Points[0].V, s.Points[0].N)
 		}
 	}
 	return nil

@@ -36,6 +36,9 @@ type Options struct {
 	// Policy selects the scheduler policy by name (sched.PolicyNames;
 	// default "easy", the production configuration).
 	Policy string
+	// Backend selects the ExaMon storage engine by name
+	// (examon.StorageBackends: "mem", "ring", "sharded"; default "mem").
+	Backend string
 	// SyntheticSlots permits Nodes beyond the physical eight-slot
 	// enclosure; extra nodes reuse slot thermal environments cyclically.
 	SyntheticSlots bool
@@ -88,7 +91,14 @@ func NewSystem(opts Options) (*System, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	broker := examon.NewBroker()
-	db := examon.NewTSDB()
+	store, err := examon.NewStorage(opts.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	db, err := examon.NewTSDBOn(store)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if _, err := db.Attach(broker); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

@@ -77,6 +77,12 @@ func (d Detector) withDefaults() Detector {
 // fires at most once per series (the first triggering sample), matching
 // how an alerting pipeline would page.
 func (d Detector) Scan(s Series) ([]Anomaly, error) {
+	return d.scanView(s.Tags, ViewOf(s.Points))
+}
+
+// scanView is the detector core, running directly over a storage view so
+// ScanAll never copies series out of the engine.
+func (d Detector) scanView(tags Tags, pts PointsView) ([]Anomaly, error) {
 	d = d.withDefaults()
 	if d.Window < 4 {
 		return nil, fmt.Errorf("examon: detector window %d too small", d.Window)
@@ -91,18 +97,19 @@ func (d Detector) Scan(s Series) ([]Anomaly, error) {
 			return
 		}
 		fired[kind] = true
-		out = append(out, Anomaly{Tags: s.Tags, Kind: kind, Time: p.T, Value: p.V, Score: score})
+		out = append(out, Anomaly{Tags: tags, Kind: kind, Time: p.T, Value: p.V, Score: score})
 	}
 
-	pts := s.Points
-	for i, p := range pts {
+	n := pts.Len()
+	for i := 0; i < n; i++ {
+		p := pts.At(i)
 		// Absolute limit.
 		if d.Limit > 0 && p.V >= d.Limit {
 			report(AnomalyLimit, p, p.V-d.Limit)
 		}
 		// Rolling-baseline outlier.
 		if i >= d.Window {
-			mean, std := baseline(pts[i-d.Window : i])
+			mean, std := baseline(pts, i-d.Window, i)
 			if std > 0 {
 				if z := math.Abs(p.V-mean) / std; z >= d.ZThreshold {
 					report(AnomalyOutlier, p, z)
@@ -113,8 +120,7 @@ func (d Detector) Scan(s Series) ([]Anomaly, error) {
 		// but only once the value is close enough to the limit that a
 		// warm-up transient cannot explain it.
 		if d.Limit > 0 && i >= d.Window && p.V >= d.RunawayFloor {
-			window := pts[i-d.Window : i+1]
-			slope := fitSlope(window)
+			slope := fitSlope(pts, i-d.Window, i+1)
 			if slope > 0 {
 				remaining := (d.Limit - p.V) / slope
 				if remaining >= 0 && remaining <= d.RunawayHorizon && p.V < d.Limit {
@@ -127,41 +133,65 @@ func (d Detector) Scan(s Series) ([]Anomaly, error) {
 	return out, nil
 }
 
-// ScanAll runs the detector over every series matching the filter.
-func (d Detector) ScanAll(db *TSDB, f Filter) ([]Anomaly, error) {
-	if db == nil {
-		return nil, fmt.Errorf("examon: nil tsdb")
+// ScanAll runs the detector over every series matching the filter, reading
+// the points in place through the storage engine's scan layer. A time-
+// bounded filter restricts which samples the detector sees (windows are
+// computed within the selected range, as before).
+func (d Detector) ScanAll(st Storage, f Filter) ([]Anomaly, error) {
+	if st == nil {
+		return nil, fmt.Errorf("examon: nil storage")
 	}
-	var out []Anomaly
-	for _, s := range db.Query(f) {
-		found, err := d.Scan(s)
+	var (
+		out     []Anomaly
+		scanErr error
+		scratch []Point // reused when a time range forces a filtered copy
+	)
+	st.Scan(f, func(tags Tags, pts PointsView) bool {
+		view := pts
+		if f.From != 0 || f.To != 0 {
+			scratch = scratch[:0]
+			cur := pts.Cursor(f.From, f.To)
+			for p, ok := cur.Next(); ok; p, ok = cur.Next() {
+				scratch = append(scratch, p)
+			}
+			view = ViewOf(scratch)
+		}
+		found, err := d.scanView(tags, view)
 		if err != nil {
-			return nil, err
+			scanErr = err
+			return false
 		}
 		out = append(out, found...)
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
 	return out, nil
 }
 
-func baseline(pts []Point) (mean, std float64) {
-	n := float64(len(pts))
-	for _, p := range pts {
-		mean += p.V
+// baseline computes mean and population stddev over view indices [lo, hi).
+func baseline(pts PointsView, lo, hi int) (mean, std float64) {
+	n := float64(hi - lo)
+	for i := lo; i < hi; i++ {
+		mean += pts.At(i).V
 	}
 	mean /= n
-	for _, p := range pts {
-		d := p.V - mean
+	for i := lo; i < hi; i++ {
+		d := pts.At(i).V - mean
 		std += d * d
 	}
 	return mean, math.Sqrt(std / n)
 }
 
-// fitSlope returns the least-squares slope of value over time.
-func fitSlope(pts []Point) float64 {
-	n := float64(len(pts))
+// fitSlope returns the least-squares slope of value over time for view
+// indices [lo, hi).
+func fitSlope(pts PointsView, lo, hi int) float64 {
+	n := float64(hi - lo)
 	var st, sv, stt, stv float64
-	for _, p := range pts {
+	for i := lo; i < hi; i++ {
+		p := pts.At(i)
 		st += p.T
 		sv += p.V
 		stt += p.T * p.T

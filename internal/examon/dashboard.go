@@ -40,10 +40,13 @@ type HeatmapOptions struct {
 	From, To, BinWidth float64
 }
 
-// BuildHeatmap aggregates TSDB data into a heatmap over the given nodes.
-func BuildHeatmap(db *TSDB, nodes []string, opts HeatmapOptions) (*Heatmap, error) {
-	if db == nil {
-		return nil, fmt.Errorf("examon: heatmap needs a tsdb")
+// BuildHeatmap aggregates stored data into a heatmap over the given nodes.
+// It runs on the v2 aggregating query layer: one QueryAgg per node with the
+// bin width as the downsampling step, so the binning happens inside the
+// storage engine's scan instead of over copied-out series.
+func BuildHeatmap(st Storage, nodes []string, opts HeatmapOptions) (*Heatmap, error) {
+	if st == nil {
+		return nil, fmt.Errorf("examon: heatmap needs a storage engine")
 	}
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("examon: heatmap needs nodes")
@@ -61,31 +64,39 @@ func BuildHeatmap(db *TSDB, nodes []string, opts HeatmapOptions) (*Heatmap, erro
 		BinWidth: opts.BinWidth,
 		Values:   make([][]float64, len(nodes)),
 	}
+	op := AggSum
+	if opts.Rate {
+		op = AggRate
+	}
 	for r, nodeName := range nodes {
 		sums := make([]float64, bins)
 		counts := make([]int, bins)
-		// Rate series need the preceding sample, so query unbounded and
-		// filter during binning.
-		series := db.Query(Filter{Node: nodeName, Plugin: opts.Plugin, Metric: opts.Metric})
-		for _, s := range series {
-			pts := s.Points
-			if opts.Rate {
-				pts = Rate(s).Points
-			}
-			for _, p := range pts {
-				if p.T < opts.From || p.T >= opts.To {
-					continue
-				}
-				bin := int((p.T - opts.From) / opts.BinWidth)
+		agg, err := QueryAgg(st, Filter{
+			Node: nodeName, Plugin: opts.Plugin, Metric: opts.Metric,
+			From: opts.From, To: opts.To,
+		}, AggOptions{Op: op, Step: opts.BinWidth})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range agg {
+			for _, p := range s.Points {
+				bin := int(math.Round((p.T - opts.From) / opts.BinWidth))
 				if bin < 0 || bin >= bins {
 					continue
 				}
-				sums[bin] += p.V
-				counts[bin]++
+				if opts.Rate {
+					// AggRate buckets carry the mean rate; recover the
+					// bucket sum so multi-core combining matches the
+					// original sample-weighted math.
+					sums[bin] += p.V * float64(p.N)
+				} else {
+					sums[bin] += p.V
+				}
+				counts[bin] += p.N
 			}
 		}
 		row := make([]float64, bins)
-		perBinSeries := len(series)
+		perBinSeries := len(agg)
 		if perBinSeries == 0 {
 			perBinSeries = 1
 		}

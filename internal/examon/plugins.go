@@ -26,6 +26,7 @@ type PMUPub struct {
 	cluster string
 
 	ticker *sim.Ticker
+	batch  []Sample // per-tick scratch, reused across samples
 }
 
 // NewPMUPub builds the plugin for one node.
@@ -77,18 +78,27 @@ func (p *PMUPub) sample(now float64) {
 	if pmu.HPMEnabled() {
 		events = append(events, perf.ProgrammableEvents...)
 	}
+	// Typed fast path: one batch per node per tick instead of one string
+	// publish per counter per core — nothing is rendered to the Table II
+	// encoding unless a legacy string subscriber is attached.
+	p.batch = p.batch[:0]
+	hostname := p.node.Hostname()
 	for core := 0; core < pmu.Harts(); core++ {
 		for _, ev := range events {
 			v, err := pmu.Read(core, ev)
 			if err != nil {
 				continue // disabled counters silently absent, as on the real node
 			}
-			topic := PMUTopic(p.org, p.cluster, p.node.Hostname(), core, ev.String())
-			// Publish errors cannot occur for well-formed topics; the
-			// plugin drops the sample otherwise, like a QoS0 publisher.
-			_ = p.broker.Publish(topic, FormatPayload(float64(v), now))
+			p.batch = append(p.batch, Sample{
+				Tags: Tags{Org: p.org, Cluster: p.cluster, Node: hostname,
+					Plugin: "pmu_pub", Core: core, Metric: ev.String()},
+				T: now, V: float64(v),
+			})
 		}
 	}
+	// Publish errors cannot occur for well-formed tags; the plugin drops
+	// the batch otherwise, like a QoS0 publisher.
+	_ = p.broker.PublishBatch(p.batch)
 }
 
 // StatsPub is the per-node plugin collecting operating-system statistics
@@ -100,6 +110,7 @@ type StatsPub struct {
 	cluster string
 
 	ticker *sim.Ticker
+	batch  []Sample // per-tick scratch, reused across samples
 }
 
 // NewStatsPub builds the plugin for one node.
@@ -189,8 +200,15 @@ func (s *StatsPub) sample(now float64) {
 		"temperature.cpu_temp":  st.TempCPU,
 		"temperature.nvme_temp": st.TempNVMe,
 	}
+	// One typed batch per node per tick; see PMUPub.sample.
+	s.batch = s.batch[:0]
+	hostname := s.node.Hostname()
 	for _, metric := range StatsMetrics {
-		topic := StatsTopic(s.org, s.cluster, s.node.Hostname(), metric)
-		_ = s.broker.Publish(topic, FormatPayload(values[metric], now))
+		s.batch = append(s.batch, Sample{
+			Tags: Tags{Org: s.org, Cluster: s.cluster, Node: hostname,
+				Plugin: "dstat_pub", Core: -1, Metric: metric},
+			T: now, V: values[metric],
+		})
 	}
+	_ = s.broker.PublishBatch(s.batch)
 }

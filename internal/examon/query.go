@@ -1,0 +1,197 @@
+package examon
+
+import (
+	"fmt"
+	"math"
+)
+
+// The v2 query layer: server-side aggregation with step-based
+// downsampling, computed directly over the storage engine's buffers via
+// Scan/Cursor so a query never copies whole series. The dashboard heatmaps
+// (BuildHeatmap) and the anomaly detector's ScanAll run on this layer, and
+// the REST server exposes it as /api/v2/query.
+
+// AggOp selects the per-bucket aggregation of QueryAgg.
+type AggOp string
+
+// Aggregation operators.
+const (
+	// AggAvg is the mean of the samples in each bucket.
+	AggAvg AggOp = "avg"
+	// AggMin and AggMax keep the bucket extremes.
+	AggMin AggOp = "min"
+	AggMax AggOp = "max"
+	// AggSum is the sum of the samples in each bucket.
+	AggSum AggOp = "sum"
+	// AggRate first differences the cumulative series (Rate semantics:
+	// pairs with non-positive dt are skipped, the rate point sits at the
+	// right endpoint) and then averages the rates in each bucket. The
+	// predecessor point just outside the time range still contributes,
+	// exactly like the Fig. 5 pipeline's unbounded query + Rate + bin.
+	AggRate AggOp = "rate"
+)
+
+// AggOptions configure QueryAgg.
+type AggOptions struct {
+	// Op is the per-bucket aggregation.
+	Op AggOp
+	// Step is the downsampling bucket width in seconds: bucket k covers
+	// [From + k*Step, From + (k+1)*Step). Step <= 0 disables downsampling
+	// and aggregates the whole time range into a single bucket at From.
+	Step float64
+}
+
+// AggPoint is one downsampled bucket.
+type AggPoint struct {
+	// T is the bucket start time; V the aggregated value; N the number of
+	// samples aggregated (rate samples for AggRate). Empty buckets are
+	// not emitted, so N >= 1.
+	T float64
+	V float64
+	N int
+}
+
+// AggSeries is one aggregated series. A matching series with no samples in
+// range is still returned, with empty Points, so callers can distinguish
+// "series exists but is silent here" from "no such series".
+type AggSeries struct {
+	Tags   Tags
+	Points []AggPoint
+}
+
+// aggAccum is one bucket under construction.
+type aggAccum struct {
+	sum, min, max float64
+	n             int
+}
+
+func (a *aggAccum) add(v float64) {
+	if a.n == 0 || v < a.min {
+		a.min = v
+	}
+	if a.n == 0 || v > a.max {
+		a.max = v
+	}
+	a.sum += v
+	a.n++
+}
+
+func (a *aggAccum) value(op AggOp) float64 {
+	switch op {
+	case AggMin:
+		return a.min
+	case AggMax:
+		return a.max
+	case AggSum:
+		return a.sum
+	default: // AggAvg, AggRate
+		return a.sum / float64(a.n)
+	}
+}
+
+// maxAggBuckets bounds a single QueryAgg's downsampling grid so a tiny
+// step over a huge time range cannot exhaust memory.
+const maxAggBuckets = 1 << 20
+
+// QueryAgg runs an aggregating range query against a storage engine: the
+// filter selects series and the time range, opts select the operator and
+// the downsampling step. Matching series are returned in storage order.
+func QueryAgg(st Storage, f Filter, opts AggOptions) ([]AggSeries, error) {
+	if st == nil {
+		return nil, fmt.Errorf("examon: nil storage")
+	}
+	switch opts.Op {
+	case AggAvg, AggMin, AggMax, AggSum, AggRate:
+	case "":
+		return nil, fmt.Errorf("examon: aggregation operator required (have avg, min, max, sum, rate)")
+	default:
+		return nil, fmt.Errorf("examon: unknown aggregation operator %q", opts.Op)
+	}
+	if math.IsNaN(opts.Step) || math.IsInf(opts.Step, 0) || opts.Step < 0 {
+		return nil, fmt.Errorf("examon: bad step %v", opts.Step)
+	}
+	if opts.Step > 0 && f.To != 0 && (f.To-f.From)/opts.Step > maxAggBuckets {
+		return nil, fmt.Errorf("examon: step %v yields more than %d buckets over [%v,%v)",
+			opts.Step, maxAggBuckets, f.From, f.To)
+	}
+	out := []AggSeries{}
+	var aggErr error
+	var buckets []aggAccum // reused across series
+	st.Scan(f, func(tags Tags, pts PointsView) bool {
+		for i := range buckets {
+			buckets[i] = aggAccum{}
+		}
+		buckets, aggErr = aggregateView(buckets, pts, f, opts)
+		if aggErr != nil {
+			return false
+		}
+		agg := AggSeries{Tags: tags}
+		for k := range buckets {
+			if buckets[k].n == 0 {
+				continue
+			}
+			t := f.From
+			if opts.Step > 0 {
+				t += float64(k) * opts.Step
+			}
+			agg.Points = append(agg.Points, AggPoint{T: t, V: buckets[k].value(opts.Op), N: buckets[k].n})
+		}
+		out = append(out, agg)
+		return true
+	})
+	if aggErr != nil {
+		return nil, aggErr
+	}
+	return out, nil
+}
+
+// aggregateView fills buckets from one series view, growing the bucket
+// slice as needed, and returns it.
+func aggregateView(buckets []aggAccum, pts PointsView, f Filter, opts AggOptions) ([]aggAccum, error) {
+	var err error
+	add := func(t, v float64) {
+		k := 0
+		if opts.Step > 0 {
+			// Compare as float before converting: a quotient beyond the
+			// int range would make the conversion implementation-defined
+			// and could silently skip the bucket-cap error below.
+			q := math.Floor((t - f.From) / opts.Step)
+			if q < 0 {
+				return
+			}
+			if q >= maxAggBuckets {
+				err = fmt.Errorf("examon: step %v yields more than %d buckets (sample at t=%v)",
+					opts.Step, maxAggBuckets, t)
+				return
+			}
+			k = int(q)
+		}
+		for k >= len(buckets) {
+			buckets = append(buckets, aggAccum{})
+		}
+		buckets[k].add(v)
+	}
+	if opts.Op == AggRate {
+		// Difference the raw series first: the predecessor of the first
+		// in-range point may itself be out of range, so iterate the full
+		// view and range-filter the resulting rate points.
+		n := pts.Len()
+		for i := 1; i < n && err == nil; i++ {
+			prev, p := pts.At(i-1), pts.At(i)
+			dt := p.T - prev.T
+			if dt <= 0 {
+				continue
+			}
+			if p.T < f.From || (f.To != 0 && p.T >= f.To) {
+				continue
+			}
+			add(p.T, (p.V-prev.V)/dt)
+		}
+		return buckets, err
+	}
+	cur := pts.Cursor(f.From, f.To)
+	for p, ok := cur.Next(); ok && err == nil; p, ok = cur.Next() {
+		add(p.T, p.V)
+	}
+	return buckets, err
+}

@@ -7,22 +7,33 @@ import (
 	"strconv"
 )
 
-// RESTServer exposes the TSDB through the dedicated RESTful API over HTTP
-// mentioned in Section IV-B (batch analysis scripts query the database
-// through it).
+// RESTServer exposes the stored telemetry through the dedicated RESTful
+// API over HTTP mentioned in Section IV-B (batch analysis scripts query
+// the database through it). Two API versions are served:
+//
+//	GET /api/v1/series            — sorted series keys
+//	GET /api/v1/query             — raw range query (copy semantics)
+//	GET /api/v2/query             — raw range query, plus server-side
+//	                                aggregation with agg= and step=
+//
+// v1 is frozen; v2 adds the aggregating layer (avg/min/max/sum/rate with
+// step-based downsampling) so dashboards pull bucketed values instead of
+// whole series.
 type RESTServer struct {
-	db  *TSDB
+	st  Storage
 	mux *http.ServeMux
 }
 
-// NewRESTServer builds the HTTP handler over a store.
-func NewRESTServer(db *TSDB) (*RESTServer, error) {
-	if db == nil {
-		return nil, fmt.Errorf("examon: rest server needs a tsdb")
+// NewRESTServer builds the HTTP handler over a storage engine (a *TSDB
+// works directly).
+func NewRESTServer(st Storage) (*RESTServer, error) {
+	if st == nil {
+		return nil, fmt.Errorf("examon: rest server needs a storage engine")
 	}
-	s := &RESTServer{db: db, mux: http.NewServeMux()}
+	s := &RESTServer{st: st, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/api/v1/series", s.handleSeries)
 	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/api/v2/query", s.handleQueryV2)
 	return s, nil
 }
 
@@ -31,7 +42,7 @@ func (s *RESTServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// seriesResponse is the JSON shape of a query result.
+// seriesResponse is the JSON shape of a raw query result.
 type seriesResponse struct {
 	Node   string       `json:"node"`
 	Plugin string       `json:"plugin"`
@@ -40,19 +51,27 @@ type seriesResponse struct {
 	Points [][2]float64 `json:"points"`
 }
 
+// aggSeriesResponse is the JSON shape of an aggregated query result; each
+// point is [bucket_start, value, sample_count].
+type aggSeriesResponse struct {
+	Node   string       `json:"node"`
+	Plugin string       `json:"plugin"`
+	Core   int          `json:"core"`
+	Metric string       `json:"metric"`
+	Points [][3]float64 `json:"points"`
+}
+
 func (s *RESTServer) handleSeries(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, map[string]any{"series": s.db.Keys()})
+	writeJSON(w, map[string]any{"series": s.st.Keys()})
 }
 
-func (s *RESTServer) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
+// parseFilter extracts the shared node/plugin/metric/core/from/to
+// parameters of both query versions.
+func parseFilter(r *http.Request) (Filter, error) {
 	q := r.URL.Query()
 	f := Filter{
 		Node:   q.Get("node"),
@@ -62,34 +81,101 @@ func (s *RESTServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if coreStr := q.Get("core"); coreStr != "" {
 		core, err := strconv.Atoi(coreStr)
 		if err != nil {
-			http.Error(w, fmt.Sprintf("bad core %q", coreStr), http.StatusBadRequest)
-			return
+			return f, fmt.Errorf("bad core %q", coreStr)
 		}
 		f.Core = &core
 	}
 	var err error
 	if f.From, err = parseTimeParam(q.Get("from")); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return f, err
 	}
 	if f.To, err = parseTimeParam(q.Get("to")); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return f, err
 	}
-	var resp []seriesResponse
-	for _, series := range s.db.Query(f) {
+	return f, nil
+}
+
+func (s *RESTServer) rawSeries(f Filter) []seriesResponse {
+	// Explicit empty slices keep the JSON "series" field — and each
+	// series' "points" — an array ([]) rather than null when nothing
+	// matches the filter or the time range.
+	resp := []seriesResponse{}
+	for _, series := range s.st.Query(f) {
 		sr := seriesResponse{
 			Node:   series.Tags.Node,
 			Plugin: series.Tags.Plugin,
 			Core:   series.Tags.Core,
 			Metric: series.Tags.Metric,
+			Points: [][2]float64{},
 		}
 		for _, p := range series.Points {
 			sr.Points = append(sr.Points, [2]float64{p.T, p.V})
 		}
 		resp = append(resp, sr)
 	}
-	writeJSON(w, map[string]any{"series": resp})
+	return resp
+}
+
+func (s *RESTServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	f, err := parseFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{"series": s.rawSeries(f)})
+}
+
+func (s *RESTServer) handleQueryV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	f, err := parseFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	op := q.Get("agg")
+	if op == "" {
+		// Unaggregated v2 queries answer exactly like v1.
+		writeJSON(w, map[string]any{"series": s.rawSeries(f)})
+		return
+	}
+	step := 0.0
+	if stepStr := q.Get("step"); stepStr != "" {
+		step, err = strconv.ParseFloat(stepStr, 64)
+		if err != nil || step < 0 {
+			http.Error(w, fmt.Sprintf("bad step %q", stepStr), http.StatusBadRequest)
+			return
+		}
+	}
+	agg, err := QueryAgg(s.st, f, AggOptions{Op: AggOp(op), Step: step})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := []aggSeriesResponse{}
+	for _, series := range agg {
+		sr := aggSeriesResponse{
+			Node:   series.Tags.Node,
+			Plugin: series.Tags.Plugin,
+			Core:   series.Tags.Core,
+			Metric: series.Tags.Metric,
+			// Non-nil so a series that is silent in the range renders as
+			// "points": [], not null.
+			Points: [][3]float64{},
+		}
+		for _, p := range series.Points {
+			sr.Points = append(sr.Points, [3]float64{p.T, p.V, float64(p.N)})
+		}
+		resp = append(resp, sr)
+	}
+	writeJSON(w, map[string]any{"series": resp, "agg": op, "step": step})
 }
 
 func parseTimeParam(s string) (float64, error) {

@@ -1,0 +1,185 @@
+package examon
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func restFixture(t *testing.T, st Storage) *httptest.Server {
+	t.Helper()
+	for n := 1; n <= 2; n++ {
+		for core := 0; core < 2; core++ {
+			tags := confTags(n, core, "instret")
+			for i := 0; i <= 8; i++ {
+				st.Insert(tags, float64(i), float64(i*n*10))
+			}
+		}
+		tags := confTags(n, -1, "temperature.cpu_temp")
+		for i := 0; i <= 8; i++ {
+			st.Insert(tags, float64(i), 40+float64(n))
+		}
+	}
+	srv, err := NewRESTServer(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	res, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, string(body)
+}
+
+// TestQueryV1EmptyResultIsArray is the regression test for the JSON null
+// bug: a v1 query with no matching series must return "series": [].
+func TestQueryV1EmptyResultIsArray(t *testing.T) {
+	ts := restFixture(t, NewMemStore())
+	for _, tc := range []struct {
+		path       string
+		wantSeries int
+	}{
+		{"/api/v1/query?node=mc99", 0},
+		{"/api/v2/query?node=mc99", 0},
+		{"/api/v2/query?node=mc99&agg=avg", 0},
+		// A matching series with no samples in range must render
+		// "points": [], not null — raw and aggregated, both versions.
+		{"/api/v1/query?node=mc01&metric=temperature.cpu_temp&from=100&to=200", 1},
+		{"/api/v2/query?node=mc01&metric=temperature.cpu_temp&from=100&to=200", 1},
+		{"/api/v2/query?node=mc01&metric=temperature.cpu_temp&agg=avg&from=100&to=200", 1},
+	} {
+		code, body := get(t, ts, tc.path)
+		if code != 200 {
+			t.Fatalf("%s -> %d", tc.path, code)
+		}
+		if strings.Contains(body, "null") {
+			t.Errorf("%s returned JSON null: %s", tc.path, body)
+		}
+		var resp struct {
+			Series []json.RawMessage `json:"series"`
+		}
+		if err := json.Unmarshal([]byte(body), &resp); err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		if resp.Series == nil || len(resp.Series) != tc.wantSeries {
+			t.Errorf("%s series = %v, want %d entries", tc.path, resp.Series, tc.wantSeries)
+		}
+	}
+}
+
+// TestQueryV1V2Equivalence pins the compatibility contract: an
+// unaggregated v2 query answers byte-for-byte like v1, on every storage
+// engine.
+func TestQueryV1V2Equivalence(t *testing.T) {
+	for name, mk := range conformanceEngines() {
+		t.Run(name, func(t *testing.T) {
+			ts := restFixture(t, mk())
+			for _, query := range []string{
+				"?metric=instret",
+				"?node=mc01&plugin=pmu_pub&metric=instret&core=1",
+				"?metric=temperature.cpu_temp&from=2&to=6",
+				"?node=mc02",
+				"?node=mc99",
+			} {
+				code1, body1 := get(t, ts, "/api/v1/query"+query)
+				code2, body2 := get(t, ts, "/api/v2/query"+query)
+				if code1 != 200 || code2 != 200 {
+					t.Fatalf("%s -> v1 %d, v2 %d", query, code1, code2)
+				}
+				if body1 != body2 {
+					t.Errorf("%s: v1 and v2 diverge:\nv1: %s\nv2: %s", query, body1, body2)
+				}
+			}
+		})
+	}
+}
+
+func TestQueryV2Aggregation(t *testing.T) {
+	ts := restFixture(t, NewMemStore())
+	code, body := get(t, ts, "/api/v2/query?node=mc01&metric=temperature.cpu_temp&agg=avg&step=4&from=0&to=8")
+	if code != 200 {
+		t.Fatalf("agg query -> %d: %s", code, body)
+	}
+	var resp struct {
+		Series []struct {
+			Node   string       `json:"node"`
+			Metric string       `json:"metric"`
+			Points [][3]float64 `json:"points"`
+		} `json:"series"`
+		Agg  string  `json:"agg"`
+		Step float64 `json:"step"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Agg != "avg" || resp.Step != 4 {
+		t.Errorf("echo = %q/%v", resp.Agg, resp.Step)
+	}
+	if len(resp.Series) != 1 {
+		t.Fatalf("series = %+v", resp.Series)
+	}
+	pts := resp.Series[0].Points
+	// Two buckets of the constant 41-degree gauge: [0,4) holds 4 samples,
+	// [4,8) holds 4.
+	if len(pts) != 2 || pts[0] != [3]float64{0, 41, 4} || pts[1] != [3]float64{4, 41, 4} {
+		t.Errorf("points = %v", pts)
+	}
+
+	// Rate aggregation over the cumulative counter.
+	code, body = get(t, ts, "/api/v2/query?node=mc02&metric=instret&core=0&agg=rate&from=1&to=8")
+	if code != 200 {
+		t.Fatalf("rate query -> %d", code)
+	}
+	var rate struct {
+		Series []struct {
+			Points [][3]float64 `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &rate); err != nil {
+		t.Fatal(err)
+	}
+	if len(rate.Series) != 1 || len(rate.Series[0].Points) != 1 {
+		t.Fatalf("rate series = %+v", rate.Series)
+	}
+	if p := rate.Series[0].Points[0]; p[1] != 20 || p[2] != 7 {
+		t.Errorf("mc02 rate bucket = %v, want rate 20 over 7 samples", p)
+	}
+}
+
+func TestQueryV2BadParameters(t *testing.T) {
+	ts := restFixture(t, NewMemStore())
+	for _, path := range []string{
+		"/api/v2/query?core=banana",
+		"/api/v2/query?from=xyz",
+		"/api/v2/query?agg=median",
+		"/api/v2/query?agg=avg&step=-1",
+		"/api/v2/query?agg=avg&step=x",
+	} {
+		code, _ := get(t, ts, path)
+		if code != 400 {
+			t.Errorf("%s -> %d, want 400", path, code)
+		}
+	}
+	res, err := ts.Client().Post(ts.URL+"/api/v2/query", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 405 {
+		t.Errorf("POST -> %d, want 405", res.StatusCode)
+	}
+}

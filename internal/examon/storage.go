@@ -1,0 +1,488 @@
+package examon
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Storage is the pluggable persistence engine behind TSDB. Three engines
+// ship with the stack:
+//
+//   - MemStore ("mem"): the original unbounded append store — lowest
+//     per-insert cost, memory grows with the run.
+//   - RingStore ("ring"): bounded per-series ring buffers — constant
+//     memory, retains the most recent points (count-based retention).
+//   - ShardedStore ("sharded"): node-hashed shards over append storage —
+//     concurrent ingest from many nodes without a global write lock.
+//
+// Contract shared by all engines (exercised by the conformance suite in
+// storage_conformance_test.go):
+//
+//   - Insert/InsertBatch append points in arrival order. Series identity
+//     is (Node, Plugin, Core, Metric) — the dimensions seriesKey renders
+//     and Filter selects on; samples differing only in Org/Cluster extend
+//     the same series, which keeps its first-seen full tag set (seed
+//     semantics).
+//   - Query returns deep copies of the matching series, time-filtered per
+//     Filter, ordered by each series' first insertion.
+//   - Scan visits matching series in the same order, passing a PointsView
+//     over the engine's backing buffer with NO time filtering (callers
+//     apply Filter.From/To via PointsView.Cursor; aggregators like rate
+//     need the out-of-range predecessor point). The view is valid only for
+//     the duration of the visit, which may run under the engine's read
+//     lock (mem, ring) or over a lock-free snapshot (sharded): the visit
+//     callback must not call back into the store and must not retain the
+//     view. Returning false stops the scan.
+//   - SeriesCount and Keys report the stored series; Keys is sorted.
+//
+// All methods are safe for concurrent use.
+type Storage interface {
+	// Insert stores one sample.
+	Insert(tags Tags, t, v float64)
+	// InsertBatch stores a batch of samples.
+	InsertBatch(batch []Sample)
+	// Query returns copies of the matching series, filtered to the time
+	// range, ordered by first insertion.
+	Query(f Filter) []Series
+	// Scan visits each matching series' full point view under the
+	// engine's read lock; see the interface comment for the contract.
+	Scan(f Filter, visit func(tags Tags, pts PointsView) bool)
+	// SeriesCount returns the number of stored series.
+	SeriesCount() int
+	// Keys lists all series keys, sorted.
+	Keys() []string
+}
+
+// seriesID is the identity a stream is stored under: the dimensions that
+// seriesKey renders and Filter can select on. Org and Cluster are scoping
+// metadata, not identity — samples differing only there extend the same
+// series (which keeps the first-seen full tag set), exactly like the seed
+// string-keyed store.
+type seriesID struct {
+	node   string
+	plugin string
+	core   int
+	metric string
+}
+
+func idOf(t Tags) seriesID {
+	return seriesID{node: t.Node, plugin: t.Plugin, core: t.Core, metric: t.Metric}
+}
+
+// StorageBackends lists the registered engine names accepted by NewStorage.
+func StorageBackends() []string { return []string{"mem", "ring", "sharded"} }
+
+// Default sizing for the named backends.
+const (
+	// DefaultRingCapacity is the per-series point capacity of the "ring"
+	// backend: at pmu_pub's 2 Hz it retains a bit over an hour per series.
+	DefaultRingCapacity = 8192
+	// DefaultShards is the shard count of the "sharded" backend.
+	DefaultShards = 16
+)
+
+// NewStorage builds a storage engine by backend name ("" selects "mem").
+func NewStorage(backend string) (Storage, error) {
+	switch backend {
+	case "", "mem":
+		return NewMemStore(), nil
+	case "ring":
+		return NewRingStore(DefaultRingCapacity), nil
+	case "sharded":
+		return NewShardedStore(DefaultShards), nil
+	}
+	return nil, fmt.Errorf("examon: unknown storage backend %q (have %v)", backend, StorageBackends())
+}
+
+// queryStorage implements the copying Query in terms of Scan, shared by
+// every engine.
+func queryStorage(st Storage, f Filter) []Series {
+	var out []Series
+	st.Scan(f, func(tags Tags, pts PointsView) bool {
+		cp := Series{Tags: tags}
+		cur := pts.Cursor(f.From, f.To)
+		for p, ok := cur.Next(); ok; p, ok = cur.Next() {
+			cp.Points = append(cp.Points, p)
+		}
+		out = append(out, cp)
+		return true
+	})
+	return out
+}
+
+// --- MemStore -----------------------------------------------------------
+
+// memSeries is one append-only stream.
+type memSeries struct {
+	tags Tags
+	pts  []Point
+}
+
+// MemStore is the unbounded in-memory append engine (the seed TSDB's
+// storage, extracted behind the Storage interface).
+type MemStore struct {
+	mu     sync.RWMutex
+	series map[seriesID]*memSeries
+	order  []*memSeries
+}
+
+// NewMemStore returns an empty append store.
+func NewMemStore() *MemStore {
+	return &MemStore{series: make(map[seriesID]*memSeries)}
+}
+
+// Insert stores one sample.
+func (st *MemStore) Insert(tags Tags, t, v float64) {
+	st.mu.Lock()
+	st.insertLocked(tags, t, v)
+	st.mu.Unlock()
+}
+
+// InsertBatch stores a batch under a single lock acquisition.
+func (st *MemStore) InsertBatch(batch []Sample) {
+	if len(batch) == 0 {
+		return
+	}
+	st.mu.Lock()
+	for _, s := range batch {
+		st.insertLocked(s.Tags, s.T, s.V)
+	}
+	st.mu.Unlock()
+}
+
+func (st *MemStore) insertLocked(tags Tags, t, v float64) {
+	id := idOf(tags)
+	s, ok := st.series[id]
+	if !ok {
+		s = &memSeries{tags: tags}
+		st.series[id] = s
+		st.order = append(st.order, s)
+	}
+	s.pts = append(s.pts, Point{T: t, V: v})
+}
+
+// Query returns copies of the matching series.
+func (st *MemStore) Query(f Filter) []Series { return queryStorage(st, f) }
+
+// Scan visits matching series under the read lock.
+func (st *MemStore) Scan(f Filter, visit func(tags Tags, pts PointsView) bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for _, s := range st.order {
+		if !f.matches(s.tags) {
+			continue
+		}
+		if !visit(s.tags, PointsView{a: s.pts}) {
+			return
+		}
+	}
+}
+
+// SeriesCount returns the number of stored series.
+func (st *MemStore) SeriesCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.series)
+}
+
+// Keys lists all series keys, sorted.
+func (st *MemStore) Keys() []string {
+	st.mu.RLock()
+	out := make([]string, 0, len(st.order))
+	for _, s := range st.order {
+		out = append(out, seriesKey(s.tags))
+	}
+	st.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// --- RingStore ----------------------------------------------------------
+
+// ringSeries is one bounded stream: a circular buffer of the most recent
+// capacity points.
+type ringSeries struct {
+	tags Tags
+	buf  []Point
+	next int  // overwrite position once full
+	full bool // len(buf) reached capacity
+}
+
+func (s *ringSeries) view() PointsView {
+	if !s.full {
+		return PointsView{a: s.buf}
+	}
+	return PointsView{a: s.buf[s.next:], b: s.buf[:s.next]}
+}
+
+// RingStore is the bounded retention engine: each series keeps the most
+// recent Capacity points in a ring buffer, so memory stays constant over
+// arbitrarily long runs (count-based retention; at a fixed sampling rate
+// that is equivalent to a time window).
+type RingStore struct {
+	capacity int
+	mu       sync.RWMutex
+	series   map[seriesID]*ringSeries
+	order    []*ringSeries
+}
+
+// NewRingStore returns an empty ring store holding up to capacity points
+// per series (capacity <= 0 selects DefaultRingCapacity).
+func NewRingStore(capacity int) *RingStore {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &RingStore{capacity: capacity, series: make(map[seriesID]*ringSeries)}
+}
+
+// Capacity returns the per-series point bound.
+func (st *RingStore) Capacity() int { return st.capacity }
+
+// Insert stores one sample, evicting the series' oldest point when full.
+func (st *RingStore) Insert(tags Tags, t, v float64) {
+	st.mu.Lock()
+	st.insertLocked(tags, t, v)
+	st.mu.Unlock()
+}
+
+// InsertBatch stores a batch under a single lock acquisition.
+func (st *RingStore) InsertBatch(batch []Sample) {
+	if len(batch) == 0 {
+		return
+	}
+	st.mu.Lock()
+	for _, s := range batch {
+		st.insertLocked(s.Tags, s.T, s.V)
+	}
+	st.mu.Unlock()
+}
+
+func (st *RingStore) insertLocked(tags Tags, t, v float64) {
+	id := idOf(tags)
+	s, ok := st.series[id]
+	if !ok {
+		s = &ringSeries{tags: tags}
+		st.series[id] = s
+		st.order = append(st.order, s)
+	}
+	p := Point{T: t, V: v}
+	if !s.full {
+		s.buf = append(s.buf, p)
+		if len(s.buf) == st.capacity {
+			s.full = true
+		}
+		return
+	}
+	s.buf[s.next] = p
+	s.next++
+	if s.next == st.capacity {
+		s.next = 0
+	}
+}
+
+// Query returns copies of the matching series (retained window only).
+func (st *RingStore) Query(f Filter) []Series { return queryStorage(st, f) }
+
+// Scan visits matching series under the read lock.
+func (st *RingStore) Scan(f Filter, visit func(tags Tags, pts PointsView) bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for _, s := range st.order {
+		if !f.matches(s.tags) {
+			continue
+		}
+		if !visit(s.tags, s.view()) {
+			return
+		}
+	}
+}
+
+// SeriesCount returns the number of stored series.
+func (st *RingStore) SeriesCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.series)
+}
+
+// Keys lists all series keys, sorted.
+func (st *RingStore) Keys() []string {
+	st.mu.RLock()
+	out := make([]string, 0, len(st.order))
+	for _, s := range st.order {
+		out = append(out, seriesKey(s.tags))
+	}
+	st.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// --- ShardedStore -------------------------------------------------------
+
+// shardSeries is one stream plus its global creation sequence number, used
+// to reconstruct a deterministic cross-shard order.
+type shardSeries struct {
+	seq  uint64
+	tags Tags
+	pts  []Point
+}
+
+type storeShard struct {
+	mu     sync.RWMutex
+	series map[seriesID]*shardSeries
+	order  []*shardSeries
+}
+
+// ShardedStore spreads series across shards keyed by the node tag, so
+// per-node ingest streams (the deployment has one publisher per node)
+// contend only within their shard instead of on a global mutex.
+type ShardedStore struct {
+	seq    atomic.Uint64
+	shards []*storeShard
+}
+
+// NewShardedStore returns an empty store with the given shard count
+// (shards <= 0 selects DefaultShards).
+func NewShardedStore(shards int) *ShardedStore {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	st := &ShardedStore{shards: make([]*storeShard, shards)}
+	for i := range st.shards {
+		st.shards[i] = &storeShard{series: make(map[seriesID]*shardSeries)}
+	}
+	return st
+}
+
+// Shards returns the shard count.
+func (st *ShardedStore) Shards() int { return len(st.shards) }
+
+// shardFor picks the node's shard with an inlined FNV-1a over the node
+// string — hash/fnv would heap-allocate a hasher per insert on the ingest
+// hot path.
+func (st *ShardedStore) shardFor(node string) *storeShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(node); i++ {
+		h ^= uint32(node[i])
+		h *= prime32
+	}
+	return st.shards[h%uint32(len(st.shards))]
+}
+
+// Insert stores one sample in the node's shard.
+func (st *ShardedStore) Insert(tags Tags, t, v float64) {
+	sh := st.shardFor(tags.Node)
+	sh.mu.Lock()
+	st.insertLocked(sh, tags, t, v)
+	sh.mu.Unlock()
+}
+
+// InsertBatch stores a batch. Batches from the plugins are single-node, so
+// the common case takes one shard lock once; mixed-node batches fall back
+// to per-sample locking.
+func (st *ShardedStore) InsertBatch(batch []Sample) {
+	if len(batch) == 0 {
+		return
+	}
+	node := batch[0].Tags.Node
+	for _, s := range batch[1:] {
+		if s.Tags.Node != node {
+			for _, s := range batch {
+				st.Insert(s.Tags, s.T, s.V)
+			}
+			return
+		}
+	}
+	sh := st.shardFor(node)
+	sh.mu.Lock()
+	for _, s := range batch {
+		st.insertLocked(sh, s.Tags, s.T, s.V)
+	}
+	sh.mu.Unlock()
+}
+
+func (st *ShardedStore) insertLocked(sh *storeShard, tags Tags, t, v float64) {
+	id := idOf(tags)
+	s, ok := sh.series[id]
+	if !ok {
+		s = &shardSeries{seq: st.seq.Add(1), tags: tags}
+		sh.series[id] = s
+		sh.order = append(sh.order, s)
+	}
+	s.pts = append(s.pts, Point{T: t, V: v})
+}
+
+// Query returns copies of the matching series.
+func (st *ShardedStore) Query(f Filter) []Series { return queryStorage(st, f) }
+
+// scanSnapshot is one matched series captured outside the shard locks.
+// Shard storage is append-only, so a slice header copied under the read
+// lock is a consistent immutable prefix of the series — the visit can then
+// run without holding any lock, and ingest proceeds concurrently.
+type scanSnapshot struct {
+	seq  uint64
+	tags Tags
+	pts  []Point
+}
+
+// Scan visits matching series ordered by series creation sequence so
+// results are deterministic across shards. Unlike the single-lock engines,
+// the sharded store visits a point-in-time snapshot: each shard's read
+// lock is held only long enough to copy the matching series' slice
+// headers (a node filter touches exactly one shard), never while the
+// visit callback computes, so long aggregations do not stall ingest.
+func (st *ShardedStore) Scan(f Filter, visit func(tags Tags, pts PointsView) bool) {
+	var matched []scanSnapshot
+	snap := func(sh *storeShard) {
+		sh.mu.RLock()
+		for _, s := range sh.order {
+			if f.matches(s.tags) {
+				matched = append(matched, scanSnapshot{seq: s.seq, tags: s.tags, pts: s.pts})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if f.Node != "" {
+		snap(st.shardFor(f.Node))
+	} else {
+		for _, sh := range st.shards {
+			snap(sh)
+		}
+		sort.Slice(matched, func(i, j int) bool { return matched[i].seq < matched[j].seq })
+	}
+	for _, s := range matched {
+		if !visit(s.tags, PointsView{a: s.pts}) {
+			return
+		}
+	}
+}
+
+// SeriesCount returns the number of stored series.
+func (st *ShardedStore) SeriesCount() int {
+	n := 0
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		n += len(sh.series)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Keys lists all series keys, sorted.
+func (st *ShardedStore) Keys() []string {
+	var out []string
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		for _, s := range sh.order {
+			out = append(out, seriesKey(s.tags))
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}

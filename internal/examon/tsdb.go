@@ -1,10 +1,6 @@
 package examon
 
-import (
-	"fmt"
-	"sort"
-	"sync"
-)
+import "fmt"
 
 // Point is one stored sample.
 type Point struct {
@@ -30,51 +26,52 @@ func seriesKey(t Tags) string {
 	return fmt.Sprintf("%s/%s/%s", t.Node, t.Plugin, t.Metric)
 }
 
-// TSDB is the storage backend installed on the master node. It subscribes
+// TSDB is the storage frontend installed on the master node. It subscribes
 // to the broker's data topics and answers range queries (the paper's stack
-// exposes these through Grafana and a REST API). Safe for concurrent use.
+// exposes these through Grafana and a REST API). The actual persistence is
+// delegated to a pluggable Storage engine — NewTSDB uses the in-memory
+// append engine, NewTSDBOn accepts any engine — and TSDB itself implements
+// Storage, so the query layers (QueryAgg, BuildHeatmap, Detector.ScanAll,
+// RESTServer) accept either a TSDB or a bare engine. Safe for concurrent
+// use.
 type TSDB struct {
-	mu     sync.RWMutex
-	series map[string]*Series
-	order  []string
+	store Storage
 }
 
-// NewTSDB returns an empty store.
+// NewTSDB returns a store backed by the default in-memory append engine.
 func NewTSDB() *TSDB {
-	return &TSDB{series: make(map[string]*Series)}
+	return &TSDB{store: NewMemStore()}
 }
 
-// Attach subscribes the store to every ExaMon data topic on the broker.
+// NewTSDBOn returns a store backed by the given engine.
+func NewTSDBOn(store Storage) (*TSDB, error) {
+	if store == nil {
+		return nil, fmt.Errorf("examon: tsdb needs a storage engine")
+	}
+	return &TSDB{store: store}, nil
+}
+
+// Storage returns the backing engine.
+func (db *TSDB) Storage() Storage { return db.store }
+
+// Attach subscribes the store to every ExaMon data topic on the broker
+// through the typed sample path: batches published with PublishBatch land
+// in storage without any string rendering or parsing, and legacy string
+// publishes arrive through the broker's compatibility shim.
 func (db *TSDB) Attach(broker *Broker) (*Subscription, error) {
 	if broker == nil {
 		return nil, fmt.Errorf("examon: tsdb needs a broker")
 	}
-	return broker.Subscribe("org/#", func(topic, payload string) {
-		tags, err := ParseTopic(topic)
-		if err != nil {
-			return // non-data topics are not stored
-		}
-		value, ts, err := ParsePayload(payload)
-		if err != nil {
-			return
-		}
-		db.Insert(tags, ts, value)
+	return broker.SubscribeSampleBatches("org/#", func(batch []Sample) {
+		db.store.InsertBatch(batch)
 	})
 }
 
 // Insert stores one sample.
-func (db *TSDB) Insert(tags Tags, t, v float64) {
-	key := seriesKey(tags)
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	s, ok := db.series[key]
-	if !ok {
-		s = &Series{Tags: tags}
-		db.series[key] = s
-		db.order = append(db.order, key)
-	}
-	s.Points = append(s.Points, Point{T: t, V: v})
-}
+func (db *TSDB) Insert(tags Tags, t, v float64) { db.store.Insert(tags, t, v) }
+
+// InsertBatch stores a batch of samples.
+func (db *TSDB) InsertBatch(batch []Sample) { db.store.InsertBatch(batch) }
 
 // Filter selects series for a query; zero fields match everything.
 type Filter struct {
@@ -84,8 +81,14 @@ type Filter struct {
 	Metric string
 	// Core matches the hart id; nil matches any.
 	Core *int
-	// From and To bound timestamps (inclusive from, exclusive to); zero
-	// To means unbounded.
+	// From and To bound timestamps (inclusive from, exclusive to). A zero
+	// To means unbounded, which makes "everything up to and including
+	// t=0" inexpressible as an exclusive bound: a query for exactly the
+	// t=0 samples needs To set to the smallest time above zero the caller
+	// cares about (e.g. math.SmallestNonzeroFloat64), since To=0 returns
+	// the full series instead. Virtual time in this stack starts at 0 and
+	// samples are published at t>0, so the ambiguity is harmless in
+	// practice, but generic callers should be aware of it.
 	From, To float64
 }
 
@@ -106,51 +109,27 @@ func (f Filter) matches(t Tags) bool {
 }
 
 // Query returns copies of the matching series, filtered to the time range,
-// in insertion order.
-func (db *TSDB) Query(f Filter) []Series {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	var out []Series
-	for _, key := range db.order {
-		s := db.series[key]
-		if !f.matches(s.Tags) {
-			continue
-		}
-		cp := Series{Tags: s.Tags}
-		for _, p := range s.Points {
-			if p.T < f.From {
-				continue
-			}
-			if f.To != 0 && p.T >= f.To {
-				continue
-			}
-			cp.Points = append(cp.Points, p)
-		}
-		out = append(out, cp)
-	}
-	return out
+// ordered by first insertion.
+func (db *TSDB) Query(f Filter) []Series { return db.store.Query(f) }
+
+// Scan visits the matching series without copying; see Storage.Scan for
+// the contract.
+func (db *TSDB) Scan(f Filter, visit func(tags Tags, pts PointsView) bool) {
+	db.store.Scan(f, visit)
 }
 
 // SeriesCount returns the number of stored series.
-func (db *TSDB) SeriesCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.series)
-}
+func (db *TSDB) SeriesCount() int { return db.store.SeriesCount() }
 
 // Keys lists all series keys, sorted.
-func (db *TSDB) Keys() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, len(db.order))
-	copy(out, db.order)
-	sort.Strings(out)
-	return out
-}
+func (db *TSDB) Keys() []string { return db.store.Keys() }
 
 // Rate converts a cumulative-counter series into a rate series by
 // differencing successive points (the Fig. 5 instruction/s heatmap is
-// built from the cumulative INSTRET counter this way).
+// built from the cumulative INSTRET counter this way). Pairs with
+// non-positive time deltas are skipped, and a series with fewer than two
+// points — where no difference exists — yields an empty rate series rather
+// than an error, so callers must not assume len(out.Points) > 0.
 func Rate(s Series) Series {
 	out := Series{Tags: s.Tags}
 	for i := 1; i < len(s.Points); i++ {
