@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"montecimone/internal/cluster"
 	"montecimone/internal/core"
 	"montecimone/internal/examon"
 	"montecimone/internal/hpl"
@@ -703,4 +704,55 @@ func BenchmarkAblation_Airflow(b *testing.B) {
 		}
 	}
 	b.ReportMetric(delta, "degC-saved")
+}
+
+// BenchmarkPhysicsStep measures the demand-driven physics refactor
+// against the cluster.WithLockStep ablation: an idle partition observed
+// at the telemetry rate (2 Hz per node), integrated over a 600 s window
+// after the thermal transients settle. The model-steps metric is the
+// physics cost; the acceptance floor is a 5x reduction at 512 nodes, and
+// in practice the settled window collapses to the handful of partial
+// catch-up steps the observations themselves request.
+func BenchmarkPhysicsStep(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		lock bool
+	}{{"demand", false}, {"lockstep", true}} {
+		for _, nodes := range []int{8, 64, 512, 1024} {
+			b.Run(fmt.Sprintf("%s/nodes=%d", mode.name, nodes), func(b *testing.B) {
+				e := sim.NewEngine()
+				c, err := cluster.New(e, cluster.Config{
+					Nodes: nodes, SyntheticSlots: nodes > cluster.DefaultNodes, LockStep: mode.lock,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Stop()
+				if err := c.BootAndSettle(1); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.NewTicker(e, e.Now()+0.5, 0.5, "obs", func(now float64) {
+					for i := 0; i < c.Size(); i++ {
+						c.Node(i).SyncTo(now)
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.RunUntil(e.Now() + 1600); err != nil { // settle past the thermal taus
+					b.Fatal(err)
+				}
+				start := c.ModelSteps()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := e.RunUntil(e.Now() + 600); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				steps := float64(c.ModelSteps()-start) / float64(b.N)
+				b.ReportMetric(steps, "model-steps/window")
+				b.ReportMetric(steps/float64(nodes), "steps/node-window")
+			})
+		}
+	}
 }

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	mcmon [-nodes N] [-workload hpl] [-duration 120] [-backend mem] [-serve :8080]
+//	mcmon [-nodes N] [-workload hpl] [-duration 120] [-backend mem]
+//	      [-budget-w W] [-serve :8080]
+//
+// -budget-w enables the cluster power plane for the monitored run: per-node
+// power_pub telemetry feeds the budget governor, whose state is printed
+// after the run and served at /api/v2/powerplane alongside the query API.
 package main
 
 import (
@@ -29,19 +34,20 @@ func main() {
 	duration := flag.Float64("duration", 120, "virtual seconds to monitor")
 	backend := flag.String("backend", "mem",
 		"ExaMon storage engine ("+strings.Join(examon.StorageBackends(), ", ")+")")
+	budgetW := flag.Float64("budget-w", 0, "cluster power budget in watts (0 disables the power plane)")
 	serve := flag.String("serve", "", "serve the REST API on this address after the run (e.g. :8080)")
 	flag.Parse()
-	if err := run(os.Stdout, *nodes, *workload, *duration, *backend, *serve); err != nil {
+	if err := run(os.Stdout, *nodes, *workload, *duration, *backend, *serve, *budgetW); err != nil {
 		fmt.Fprintln(os.Stderr, "mcmon:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, nodes int, workload string, duration float64, backend, serve string) error {
+func run(w io.Writer, nodes int, workload string, duration float64, backend, serve string, budgetW float64) error {
 	if backend == "" {
 		backend = "mem" // examon.NewStorage's default, named for the summary line
 	}
-	s, err := core.NewSystem(core.Options{Nodes: nodes, HPMPatch: true, Backend: backend})
+	s, err := core.NewSystem(core.Options{Nodes: nodes, HPMPatch: true, Backend: backend, PowerBudgetW: budgetW})
 	if err != nil {
 		return err
 	}
@@ -91,6 +97,12 @@ func run(w io.Writer, nodes int, workload string, duration float64, backend, ser
 		fmt.Fprintf(w, "  %-6s mean %.1f degC\n", nodeName, temps.RowMean(i))
 	}
 
+	if s.Plane != nil {
+		snap := s.Plane.Snapshot()
+		fmt.Fprintf(w, "power plane: budget %.1f W, draw %.1f W, headroom %.1f W, %d node(s) throttled\n",
+			snap.BudgetW, snap.DrawW, snap.HeadroomW, snap.ThrottledNodes)
+	}
+
 	if serve == "" {
 		return nil
 	}
@@ -98,21 +110,28 @@ func run(w io.Writer, nodes int, workload string, duration float64, backend, ser
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "serving ExaMon REST API on %s (GET /api/v1/series, /api/v1/query, /api/v2/query)\n", serve)
+	endpoints := "GET /api/v1/series, /api/v1/query, /api/v2/query"
+	if s.Plane != nil {
+		if err := srv.AttachPowerPlane(func() any { return s.Plane.Snapshot() }); err != nil {
+			return err
+		}
+		endpoints += ", /api/v2/powerplane"
+	}
+	fmt.Fprintf(w, "serving ExaMon REST API on %s (%s)\n", serve, endpoints)
 	return http.ListenAndServe(serve, srv)
 }
 
 func activity(name string) (power.Activity, float64, error) {
+	act, ok := power.ClassActivity(name)
+	if !ok || name == "idle" {
+		return power.Activity{}, 0, fmt.Errorf("unknown workload %q", name)
+	}
 	switch name {
 	case "hpl":
-		return power.ActivityHPL, 13.3e9, nil
-	case "stream.ddr":
-		return power.ActivityStreamDDR, 2.1e9, nil
-	case "stream.l2":
-		return power.ActivityStreamL2, 2.1e9, nil
-	case "qe":
-		return power.ActivityQE, 0.4e9, nil
-	default:
-		return power.Activity{}, 0, fmt.Errorf("unknown workload %q", name)
+		return act, 13.3e9, nil
+	case "stream.ddr", "stream.l2":
+		return act, 2.1e9, nil
+	default: // qe
+		return act, 0.4e9, nil
 	}
 }

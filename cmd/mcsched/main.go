@@ -6,10 +6,15 @@
 //
 // Usage:
 //
-//	mcsched [-nodes N] [-mitigated] [-policy fifo|easy|sjf|bestfit]
+//	mcsched [-nodes N] [-mitigated] [-policy fifo|easy|sjf|bestfit|powercap]
+//	        [-budget-w W]
 //
 // Node counts beyond the paper's eight-slot enclosure run with synthetic
 // slots (thermal environments reuse the physical slots cyclically).
+// -budget-w enables the cluster power plane (per-node caps distributed
+// from the budget by DVFS governors); combined with -policy powercap the
+// scheduler also delays placements that would exceed the budget and
+// prefers cooler nodes.
 package main
 
 import (
@@ -30,6 +35,7 @@ func main() {
 	nodes := flag.Int("nodes", 8, "compute nodes")
 	mitigated := flag.Bool("mitigated", false, "apply the airflow mitigation before the campaign")
 	policy := flag.String("policy", "easy", "scheduling policy: "+strings.Join(sched.PolicyNames(), "|"))
+	budgetW := flag.Float64("budget-w", 0, "cluster power budget in watts (0 disables the power plane)")
 	backfill := flag.Bool("backfill", true, "deprecated: -backfill=false is an alias for -policy fifo")
 	flag.Parse()
 	if !*backfill {
@@ -39,7 +45,7 @@ func main() {
 		}
 		*policy = "fifo"
 	}
-	if err := run(os.Stdout, *nodes, *mitigated, *policy); err != nil {
+	if err := run(os.Stdout, *nodes, *mitigated, *policy, *budgetW); err != nil {
 		fmt.Fprintln(os.Stderr, "mcsched:", err)
 		os.Exit(1)
 	}
@@ -54,12 +60,13 @@ type campaignJob struct {
 	duration float64
 }
 
-func run(w io.Writer, nodes int, mitigated bool, policy string) error {
+func run(w io.Writer, nodes int, mitigated bool, policy string, budgetW float64) error {
 	s, err := core.NewSystem(core.Options{
 		Nodes:          nodes,
 		NoMonitor:      true,
 		Policy:         policy,
 		SyntheticSlots: nodes > cluster.DefaultNodes,
+		PowerBudgetW:   budgetW,
 	})
 	if err != nil {
 		return err
@@ -89,6 +96,7 @@ func run(w io.Writer, nodes int, mitigated bool, policy string) error {
 		spec := sched.JobSpec{
 			Name: cj.name, User: "bench", Nodes: cj.nodes,
 			TimeLimit: cj.limit, Duration: cj.duration,
+			ActivityClass: cj.workload,
 			OnStart: func(_ *sched.Job, hosts []string) {
 				act, mem, err := workloadActivity(cj.workload)
 				if err == nil {
@@ -108,6 +116,9 @@ func run(w io.Writer, nodes int, mitigated bool, policy string) error {
 	}
 
 	fmt.Fprintf(w, "scheduler policy: %s\n", s.Scheduler.PolicyName())
+	if s.Plane != nil {
+		fmt.Fprintf(w, "power plane: budget %.1f W\n", s.Plane.BudgetW())
+	}
 	fmt.Fprintf(w, "\n== t=%.0f s: campaign submitted\n", s.Engine.Now())
 	printQueue(w, s.Scheduler)
 
@@ -138,17 +149,17 @@ func run(w io.Writer, nodes int, mitigated bool, policy string) error {
 }
 
 func workloadActivity(name string) (power.Activity, float64, error) {
+	act, ok := power.ClassActivity(name)
+	if !ok {
+		return power.Activity{}, 0, fmt.Errorf("unknown workload %q", name)
+	}
 	switch name {
 	case "hpl":
-		return power.ActivityHPL, 13.3e9, nil
-	case "stream.ddr":
-		return power.ActivityStreamDDR, 2.1e9, nil
-	case "stream.l2":
-		return power.ActivityStreamL2, 2.1e9, nil
-	case "qe":
-		return power.ActivityQE, 0.4e9, nil
-	default:
-		return power.Activity{}, 0, fmt.Errorf("unknown workload %q", name)
+		return act, 13.3e9, nil
+	case "stream.ddr", "stream.l2":
+		return act, 2.1e9, nil
+	default: // qe, idle
+		return act, 0.4e9, nil
 	}
 }
 

@@ -7,7 +7,7 @@ import (
 
 func TestCampaignOriginalEnclosure(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 8, false, "easy"); err != nil {
+	if err := run(&sb, 8, false, "easy", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -28,7 +28,7 @@ func TestCampaignOriginalEnclosure(t *testing.T) {
 
 func TestCampaignMitigated(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 8, true, "easy"); err != nil {
+	if err := run(&sb, 8, true, "easy", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -45,7 +45,7 @@ func TestCampaignAlternatePolicies(t *testing.T) {
 		policy := policy
 		t.Run(policy, func(t *testing.T) {
 			var sb strings.Builder
-			if err := run(&sb, 8, true, policy); err != nil {
+			if err := run(&sb, 8, true, policy, 0); err != nil {
 				t.Fatal(err)
 			}
 			out := sb.String()
@@ -68,7 +68,7 @@ func TestCampaignAlternatePolicies(t *testing.T) {
 
 func TestUnknownPolicyRejected(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 8, false, "lottery"); err == nil {
+	if err := run(&sb, 8, false, "lottery", 0); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }

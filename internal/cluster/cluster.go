@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"montecimone/internal/netsim"
 	"montecimone/internal/node"
@@ -44,6 +45,22 @@ type Config struct {
 	// nodes beyond the paper's enclosure reuse the slot thermal
 	// environments modulo thermal.NumSlots.
 	SyntheticSlots bool
+	// LockStep reinstates the seed's fixed-period global integration
+	// ticker, which Euler-steps every node every StepPeriod regardless of
+	// activity. The default is demand-driven co-simulation: each node
+	// integrates lazily when observed or when its inputs change, with a
+	// per-node watchdog event guarding boot completions and thermal
+	// trips. LockStep exists as the benchmark ablation and as the
+	// bit-exact reproduction of the seed integration schedule.
+	LockStep bool
+}
+
+// WithLockStep returns a copy of cfg with the legacy global-ticker
+// integration enabled (the ablation baseline for the demand-driven
+// physics benchmarks).
+func WithLockStep(cfg Config) Config {
+	cfg.LockStep = true
+	return cfg
 }
 
 // Cluster is the assembled machine.
@@ -58,9 +75,15 @@ type Cluster struct {
 	nvmes  map[string]*storage.NVMe
 
 	stepPeriod float64
+	lockStep   bool
 	ticker     *sim.Ticker
 	onHalt     func(hostname string)
-	haltSeen   map[string]bool
+	onBoot     func(hostname string)
+
+	// Demand-driven mode: one pending watchdog event per node (nil when
+	// the node needs none) plus its precomputed event name.
+	watches    []*sim.Event
+	watchNames []string
 }
 
 // LoginHostname and MasterHostname name the service nodes.
@@ -115,7 +138,7 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 		mounts:     make(map[string]*storage.Mount, n),
 		nvmes:      make(map[string]*storage.NVMe, n),
 		stepPeriod: period,
-		haltSeen:   make(map[string]bool, n),
+		lockStep:   cfg.LockStep,
 	}
 	for id := 1; id <= n; id++ {
 		nd, err := node.New(node.Config{
@@ -136,7 +159,83 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 		c.mounts[nd.Hostname()] = mount
 		c.nvmes[nd.Hostname()] = storage.NewNVMe()
 	}
+	for _, nd := range c.nodes {
+		// Transitions surface in both modes: the lock-step ticker and the
+		// demand-driven syncs both discover them inside node integration.
+		// Both modes also install the engine clock and the integration
+		// period, so observations and input changes are exact at their
+		// own instants rather than quantized to the enclosing tick — the
+		// two modes then walk identical Euler sequences and the LockStep
+		// ablation differs only in integration scheduling cost.
+		nd := nd
+		nd.OnTransition(func(kind node.Transition, _ float64) { c.nodeTransition(nd, kind) })
+		if err := nd.SetBaseStep(period); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		nd.SetClock(engine.Now)
+	}
+	if !c.lockStep {
+		c.watches = make([]*sim.Event, n)
+		c.watchNames = make([]string, n)
+		for i, nd := range c.nodes {
+			i, nd := i, nd
+			nd.OnInputChange(func() { c.replanWatch(i) })
+			c.watchNames[i] = "cluster.watch." + nd.Hostname()
+		}
+	}
 	return c, nil
+}
+
+// nodeTransition reacts to a node state change discovered during
+// integration, forwarding it to the registered callbacks and re-planning
+// the node's watchdog.
+func (c *Cluster) nodeTransition(nd *node.Node, kind node.Transition) {
+	switch kind {
+	case node.TransitionHalt:
+		if c.onHalt != nil {
+			c.onHalt(nd.Hostname())
+		}
+	case node.TransitionBootComplete:
+		if c.onBoot != nil {
+			c.onBoot(nd.Hostname())
+		}
+	}
+	if !c.lockStep {
+		c.replanWatch(nd.ID() - 1)
+	}
+}
+
+// replanWatch re-schedules node i's watchdog event at its next
+// integration deadline (boot completion, approach to the trip band), or
+// cancels it when the node can idle indefinitely. Cancelled events are
+// dropped from the engine's queue eagerly, so frequent re-planning does
+// not accumulate garbage.
+func (c *Cluster) replanWatch(i int) {
+	if c.lockStep || c.watches == nil {
+		return
+	}
+	nd := c.nodes[i]
+	if ev := c.watches[i]; ev != nil {
+		ev.Cancel()
+		c.watches[i] = nil
+	}
+	at := nd.NextDeadline()
+	if math.IsInf(at, 1) {
+		return
+	}
+	if now := c.engine.Now(); at < now {
+		at = now
+	}
+	ev, err := c.engine.ScheduleAt(at, c.watchNames[i], func(e *sim.Engine) {
+		c.watches[i] = nil
+		nd.SyncTo(e.Now())
+		c.replanWatch(i)
+	})
+	if err != nil {
+		// Unreachable: at is clamped to now and finite.
+		panic(fmt.Sprintf("cluster: watch %s: %v", c.watchNames[i], err))
+	}
+	c.watches[i] = ev
 }
 
 // Engine returns the driving discrete-event engine.
@@ -216,9 +315,26 @@ func (c *Cluster) Blades() [][]int {
 // the scheduler's NodeDown by the facade).
 func (c *Cluster) OnNodeHalt(fn func(hostname string)) { c.onHalt = fn }
 
-// PowerOnAll presses every node's power button at the current virtual time
-// and starts the model integration ticker. Nodes finish booting after
-// node.R1Duration + node.R2Duration seconds.
+// OnNodeBoot registers a callback fired when a node finishes booting (the
+// event-driven boot-completion notification BootAndSettle waits on).
+func (c *Cluster) OnNodeBoot(fn func(hostname string)) { c.onBoot = fn }
+
+// ModelSteps sums the Euler substeps integrated across all nodes — the
+// physics cost the demand-driven mode minimises relative to the LockStep
+// ablation.
+func (c *Cluster) ModelSteps() uint64 {
+	var total uint64
+	for _, nd := range c.nodes {
+		total += nd.ModelSteps()
+	}
+	return total
+}
+
+// PowerOnAll presses every node's power button at the current virtual
+// time. In lock-step mode it also starts the global integration ticker;
+// in demand-driven mode the per-node power-on watchdogs (scheduled from
+// the input-change notification) cover boot completion instead. Nodes
+// finish booting after node.R1Duration + node.R2Duration seconds.
 func (c *Cluster) PowerOnAll() error {
 	now := c.engine.Now()
 	for _, nd := range c.nodes {
@@ -227,6 +343,9 @@ func (c *Cluster) PowerOnAll() error {
 				return fmt.Errorf("cluster: %w", err)
 			}
 		}
+	}
+	if !c.lockStep {
+		return nil
 	}
 	return c.startTicker()
 }
@@ -243,34 +362,49 @@ func (c *Cluster) startTicker() error {
 	return nil
 }
 
-// Stop halts the integration ticker (end of simulation).
+// Stop halts all periodic integration activity (end of simulation): the
+// global ticker in lock-step mode, the per-node watchdogs otherwise.
 func (c *Cluster) Stop() {
 	if c.ticker != nil {
 		c.ticker.Stop()
 		c.ticker = nil
 	}
-}
-
-func (c *Cluster) step(now float64) {
-	for _, nd := range c.nodes {
-		nd.Step(now)
-		if nd.State() == node.StateHalted && !c.haltSeen[nd.Hostname()] {
-			c.haltSeen[nd.Hostname()] = true
-			if c.onHalt != nil {
-				c.onHalt(nd.Hostname())
-			}
+	for i, ev := range c.watches {
+		if ev != nil {
+			ev.Cancel()
+			c.watches[i] = nil
 		}
 	}
 }
 
+func (c *Cluster) step(now float64) {
+	// Halts surface through the node transition callbacks.
+	for _, nd := range c.nodes {
+		nd.Step(now)
+	}
+}
+
 // BootAndSettle powers on all nodes and advances the engine until every
-// node reaches the running state (plus settle seconds of idle).
+// node reaches the running state (plus settle seconds of idle). The
+// deadline is derived from each node's own boot-completion time rather
+// than hard-coded region constants, so custom boot timings cannot
+// silently miss it; the per-node boot notification (OnNodeBoot) fires as
+// each node comes up.
 func (c *Cluster) BootAndSettle(settle float64) error {
 	if err := c.PowerOnAll(); err != nil {
 		return err
 	}
-	deadline := c.engine.Now() + node.R1Duration + node.R2Duration + c.stepPeriod + settle
-	if err := c.engine.RunUntil(deadline); err != nil {
+	latest := c.engine.Now()
+	for _, nd := range c.nodes {
+		if nd.State() == node.StateBooting && nd.BootDeadline() > latest {
+			latest = nd.BootDeadline()
+		}
+	}
+	// One extra integration period covers the lock-step ticker flipping
+	// the state on the first tick at or after the deadline; demand-driven
+	// runs keep the same horizon so both modes leave Boot at the same
+	// virtual time (telemetry epochs must match across the ablation).
+	if err := c.engine.RunUntil(latest + c.stepPeriod + settle); err != nil {
 		return fmt.Errorf("cluster: boot: %w", err)
 	}
 	for _, nd := range c.nodes {
@@ -311,7 +445,7 @@ func (c *Cluster) ClearWorkloadOn(hosts []string) {
 func (c *Cluster) ApplyAirflowMitigation() error {
 	enc := thermal.Enclosure{AmbientC: 25, LidOn: false}
 	for _, nd := range c.nodes {
-		if err := nd.Thermal().SetEnclosure(enc); err != nil {
+		if err := nd.SetEnclosure(enc); err != nil {
 			return fmt.Errorf("cluster: %w", err)
 		}
 		if nd.State() == node.StateHalted {
@@ -319,7 +453,6 @@ func (c *Cluster) ApplyAirflowMitigation() error {
 			if err := nd.PowerOn(c.engine.Now()); err != nil {
 				return fmt.Errorf("cluster: %w", err)
 			}
-			c.haltSeen[nd.Hostname()] = false
 		}
 	}
 	return nil

@@ -338,7 +338,14 @@ type ThermalReport struct {
 // original enclosure until node 7 trips, then the airflow mitigation and a
 // re-run.
 func Fig6(seed int64) (*ThermalReport, error) {
-	s, err := NewSystem(Options{Nodes: 8, Seed: seed})
+	return fig6(Options{Nodes: 8, Seed: seed})
+}
+
+// fig6 is Fig6 on explicit options (for the physics-mode equivalence
+// test, which regenerates it under lock-step and demand-driven
+// integration).
+func fig6(opts Options) (*ThermalReport, error) {
+	s, err := NewSystem(opts)
 	if err != nil {
 		return nil, err
 	}

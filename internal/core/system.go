@@ -15,6 +15,7 @@ import (
 	"montecimone/internal/cluster"
 	"montecimone/internal/directory"
 	"montecimone/internal/examon"
+	"montecimone/internal/powerplane"
 	"montecimone/internal/sched"
 	"montecimone/internal/sim"
 	"montecimone/internal/spack"
@@ -42,6 +43,15 @@ type Options struct {
 	// SyntheticSlots permits Nodes beyond the physical eight-slot
 	// enclosure; extra nodes reuse slot thermal environments cyclically.
 	SyntheticSlots bool
+	// LockStep reinstates the fixed-period global physics ticker instead
+	// of the default demand-driven co-simulation (the benchmark ablation;
+	// see cluster.Config.LockStep).
+	LockStep bool
+	// PowerBudgetW, when positive, enables the cluster power plane: one
+	// power_pub plugin and one dtm governor per node, the budget governor
+	// distributing per-node caps, and — when Policy is "powercap" — the
+	// power-aware scheduling loop consulting it before placements.
+	PowerBudgetW float64
 }
 
 // System is the assembled testbed.
@@ -59,9 +69,13 @@ type System struct {
 	Directory *directory.Server
 	// RNG provides named deterministic noise streams.
 	RNG *sim.RNG
+	// Plane is the cluster power-budget governor (nil unless
+	// Options.PowerBudgetW was set).
+	Plane *powerplane.Governor
 
 	pmuPubs   []*examon.PMUPub
 	statsPubs []*examon.StatsPub
+	powerPubs []*examon.PowerPub
 	monitor   bool
 }
 
@@ -76,6 +90,7 @@ func NewSystem(opts Options) (*System, error) {
 		HPMPatch:       opts.HPMPatch,
 		StepPeriod:     opts.StepPeriod,
 		SyntheticSlots: opts.SyntheticSlots,
+		LockStep:       opts.LockStep,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -85,10 +100,6 @@ func NewSystem(opts Options) (*System, error) {
 		if policy, err = sched.PolicyByName(opts.Policy); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-	}
-	sc, err := sched.New(engine, "cimone", cl.Hostnames(), sched.WithPolicy(policy))
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
 	}
 	broker := examon.NewBroker()
 	store, err := examon.NewStorage(opts.Backend)
@@ -102,6 +113,24 @@ func NewSystem(opts Options) (*System, error) {
 	if _, err := db.Attach(broker); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	var plane *powerplane.Governor
+	schedOpts := []sched.Option{sched.WithPolicy(policy)}
+	if opts.PowerBudgetW > 0 {
+		plane, err = powerplane.New(engine, cl, db, broker, powerplane.Config{
+			BudgetW: opts.PowerBudgetW,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		schedOpts = append(schedOpts, sched.WithPowerAdvisor(plane))
+	}
+	sc, err := sched.New(engine, "cimone", cl.Hostnames(), schedOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if plane != nil {
+		plane.OnHeadroomIncrease(sc.Reschedule)
+	}
 	dir, err := directory.DefaultDirectory()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -114,6 +143,7 @@ func NewSystem(opts Options) (*System, error) {
 		DB:        db,
 		Directory: dir,
 		RNG:       sim.NewRNG(opts.Seed),
+		Plane:     plane,
 		monitor:   !opts.NoMonitor,
 	}
 	// Thermal halts surface as SLURM node failures.
@@ -136,6 +166,13 @@ func NewSystem(opts Options) (*System, error) {
 		}
 		s.pmuPubs = append(s.pmuPubs, pmu)
 		s.statsPubs = append(s.statsPubs, stats)
+		if plane != nil {
+			pp, err := examon.NewPowerPub(broker, nd, "", "")
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			s.powerPubs = append(s.powerPubs, pp)
+		}
 	}
 	return s, nil
 }
@@ -156,14 +193,33 @@ func (s *System) Boot() error {
 			}
 		}
 	}
+	// The power plane runs even without the OS-level monitoring plugins:
+	// power_pub samples out of band, and the budget loop needs it.
+	for i := range s.powerPubs {
+		if err := s.powerPubs[i].Start(s.Engine); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	if s.Plane != nil {
+		if err := s.Plane.Start(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
 	return nil
 }
 
-// Close stops all periodic activity (plugins and cluster stepping).
+// Close stops all periodic activity (plugins, power plane and cluster
+// stepping).
 func (s *System) Close() {
 	for i := range s.pmuPubs {
 		s.pmuPubs[i].Stop()
 		s.statsPubs[i].Stop()
+	}
+	for i := range s.powerPubs {
+		s.powerPubs[i].Stop()
+	}
+	if s.Plane != nil {
+		s.Plane.Stop()
 	}
 	s.Cluster.Stop()
 }

@@ -59,7 +59,13 @@ type MetricSample struct {
 // TableIII boots a monitored system, lets stats_pub sample for a minute of
 // virtual time and returns one live value per Table III metric.
 func TableIII() ([]MetricSample, error) {
-	s, err := NewSystem(Options{Nodes: 1})
+	return tableIII(Options{Nodes: 1})
+}
+
+// tableIII is TableIII on explicit options (the physics-mode equivalence
+// test regenerates it under both integration modes).
+func tableIII(opts Options) ([]MetricSample, error) {
+	s, err := NewSystem(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +101,12 @@ type SensorRow struct {
 // TableIV boots one node and reads the three hwmon sensors through their
 // sysfs paths.
 func TableIV() ([]SensorRow, error) {
-	s, err := NewSystem(Options{Nodes: 1, NoMonitor: true})
+	return tableIV(Options{Nodes: 1, NoMonitor: true})
+}
+
+// tableIV is TableIV on explicit options (for the physics-mode test).
+func tableIV(opts Options) ([]SensorRow, error) {
+	s, err := NewSystem(opts)
 	if err != nil {
 		return nil, err
 	}

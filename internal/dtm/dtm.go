@@ -45,12 +45,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Governor is a per-node thermal-capping DVFS controller.
+// Governor is a per-node thermal-capping DVFS controller. It optionally
+// also enforces a node power cap (SetPowerCapW), which the cluster power
+// plane distributes from the global budget — the same actuator serves
+// both the thermal ceiling and the RAPL-style power ceiling.
 type Governor struct {
 	node *node.Node
 	cfg  Config
 
 	ticker *sim.Ticker
+
+	powerCapW float64 // 0 = no power cap
 
 	scaleSum    float64
 	samples     int
@@ -95,19 +100,42 @@ func (g *Governor) Stop() {
 	g.node.SetFrequencyScale(1)
 }
 
+// SetPowerCapW sets (or, with w <= 0, clears) the node power cap in
+// watts. The control loop then throttles whenever the board draw exceeds
+// the cap, and only recovers while it sits comfortably below it.
+func (g *Governor) SetPowerCapW(w float64) {
+	if w < 0 {
+		w = 0
+	}
+	g.powerCapW = w
+}
+
+// PowerCapW returns the active node power cap (0 = uncapped).
+func (g *Governor) PowerCapW() float64 { return g.powerCapW }
+
+// Scale returns the node's current DVFS operating point — the governor's
+// actuator position, exported as power-plane telemetry.
+func (g *Governor) Scale() float64 { return g.node.FrequencyScale() }
+
 // control is one interval of the hysteresis controller: throttle hard
-// when the junction approaches the cap, recover slowly when there is
-// comfortable headroom.
+// when the junction approaches the thermal cap or the draw exceeds the
+// power cap, recover slowly when both leave comfortable headroom.
 func (g *Governor) control(float64) {
 	if g.node.State() != node.StateRunning {
 		return
 	}
 	temp := g.node.Temperature(thermal.SensorCPU)
+	overPower, underPower := false, true
+	if g.powerCapW > 0 {
+		drawW := g.node.TotalMilliwatts() / 1000
+		overPower = drawW > g.powerCapW
+		underPower = drawW < 0.95*g.powerCapW
+	}
 	scale := g.node.FrequencyScale()
 	switch {
-	case temp > g.cfg.CapC-2:
+	case temp > g.cfg.CapC-2 || overPower:
 		scale -= g.cfg.StepDown
-	case temp < g.cfg.CapC-10:
+	case temp < g.cfg.CapC-10 && underPower:
 		scale += g.cfg.StepUp
 	}
 	g.node.SetFrequencyScale(scale)

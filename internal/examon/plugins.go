@@ -5,14 +5,18 @@ import (
 
 	"montecimone/internal/node"
 	"montecimone/internal/perf"
+	"montecimone/internal/power"
 	"montecimone/internal/sim"
 )
 
 // Sampling rates from Section IV-B: pmu_pub samples the performance
 // counters at 2 Hz; stats_pub samples the OS statistics at 0.2 Hz.
+// power_pub publishes the shunt-derived rail powers at 1 Hz (the raw
+// 1 kHz shunt stream is averaged on the node before publication).
 const (
 	PMUPubPeriod   = 0.5
 	StatsPubPeriod = 5.0
+	PowerPubPeriod = 1.0
 )
 
 // PMUPub is the per-node plugin publishing the hardware performance
@@ -68,8 +72,10 @@ func (p *PMUPub) Stop() {
 func (p *PMUPub) sample(now float64) {
 	// Bring the node model exactly to the sampling instant so counter
 	// reads are independent of tick-interleaving with the cluster's
-	// integration ticker (Step is monotone and idempotent at equal times).
-	p.node.Step(now)
+	// integration. Under lock-step this is a sub-period catch-up; under
+	// demand-driven integration the sample IS the observation that
+	// advances the node.
+	p.node.SyncTo(now)
 	if p.node.State() != node.StateRunning {
 		return
 	}
@@ -165,7 +171,7 @@ var StatsMetrics = []string{
 }
 
 func (s *StatsPub) sample(now float64) {
-	s.node.Step(now) // sync to the sampling instant (see PMUPub.sample)
+	s.node.SyncTo(now) // sync to the sampling instant (see PMUPub.sample)
 	if s.node.State() != node.StateRunning {
 		return
 	}
@@ -211,4 +217,81 @@ func (s *StatsPub) sample(now float64) {
 		})
 	}
 	_ = s.broker.PublishBatch(s.batch)
+}
+
+// PowerPub is the per-node plugin publishing the nine shunt-monitored rail
+// powers and their board total. Unlike pmu_pub and stats_pub it samples
+// out of band (the shunt ADCs sit on the board, not behind the OS), so it
+// publishes in every powered state — the cluster power plane needs boot
+// and halt draw in its budget accounting, not just the OS-up draw.
+type PowerPub struct {
+	broker  *Broker
+	node    *node.Node
+	org     string
+	cluster string
+
+	ticker *sim.Ticker
+	batch  []Sample // per-tick scratch, reused across samples
+}
+
+// PowerTotalMetric is the power_pub metric carrying the nine-rail board
+// total in milliwatts; the per-rail metrics are "power.<rail>".
+const PowerTotalMetric = "power.total"
+
+// NewPowerPub builds the plugin for one node.
+func NewPowerPub(broker *Broker, nd *node.Node, org, cluster string) (*PowerPub, error) {
+	if broker == nil || nd == nil {
+		return nil, fmt.Errorf("examon: power_pub needs a broker and node")
+	}
+	if org == "" {
+		org = DefaultOrg
+	}
+	if cluster == "" {
+		cluster = DefaultCluster
+	}
+	return &PowerPub{broker: broker, node: nd, org: org, cluster: cluster}, nil
+}
+
+// Start begins sampling on the engine.
+func (p *PowerPub) Start(engine *sim.Engine) error {
+	if p.ticker != nil {
+		return fmt.Errorf("examon: power_pub already started on %s", p.node.Hostname())
+	}
+	tk, err := sim.NewTicker(engine, engine.Now()+PowerPubPeriod, PowerPubPeriod,
+		"examon.power_pub."+p.node.Hostname(), p.sample)
+	if err != nil {
+		return fmt.Errorf("examon: %w", err)
+	}
+	p.ticker = tk
+	return nil
+}
+
+// Stop halts sampling.
+func (p *PowerPub) Stop() {
+	if p.ticker != nil {
+		p.ticker.Stop()
+		p.ticker = nil
+	}
+}
+
+func (p *PowerPub) sample(now float64) {
+	p.node.SyncTo(now) // sync to the sampling instant (see PMUPub.sample)
+	p.batch = p.batch[:0]
+	hostname := p.node.Hostname()
+	total := 0.0
+	for _, rail := range power.Rails {
+		mw := p.node.RailMilliwatts(rail)
+		total += mw
+		p.batch = append(p.batch, Sample{
+			Tags: Tags{Org: p.org, Cluster: p.cluster, Node: hostname,
+				Plugin: "power_pub", Core: -1, Metric: "power." + string(rail)},
+			T: now, V: mw,
+		})
+	}
+	p.batch = append(p.batch, Sample{
+		Tags: Tags{Org: p.org, Cluster: p.cluster, Node: hostname,
+			Plugin: "power_pub", Core: -1, Metric: PowerTotalMetric},
+		T: now, V: total,
+	})
+	_ = p.broker.PublishBatch(p.batch)
 }

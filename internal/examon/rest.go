@@ -37,6 +37,25 @@ func NewRESTServer(st Storage) (*RESTServer, error) {
 	return s, nil
 }
 
+// AttachPowerPlane registers the /api/v2/powerplane endpoint serving the
+// cluster power governor's live state. snapshot is called per request and
+// its result rendered as JSON (the powerplane.Governor's Snapshot method
+// fits directly; the indirection keeps this package free of a dependency
+// on the plane). Attaching twice panics, like duplicate mux patterns do.
+func (s *RESTServer) AttachPowerPlane(snapshot func() any) error {
+	if snapshot == nil {
+		return fmt.Errorf("examon: nil power plane snapshot")
+	}
+	s.mux.HandleFunc("/api/v2/powerplane", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, snapshot())
+	})
+	return nil
+}
+
 // ServeHTTP implements http.Handler.
 func (s *RESTServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)

@@ -1,0 +1,190 @@
+package node
+
+import (
+	"math"
+	"testing"
+
+	"montecimone/internal/power"
+	"montecimone/internal/thermal"
+)
+
+// TestSyncToMatchesStepGrid pins the demand-driven contract: while the
+// node is thermally active, SyncTo integrates on exactly the base-step
+// Euler grid, so a lazy catch-up reproduces the lock-step trajectory
+// bit for bit.
+func TestSyncToMatchesStepGrid(t *testing.T) {
+	mk := func() *Node {
+		n, err := New(Config{ID: 7, Enclosure: thermal.DefaultEnclosure(), HPMPatch: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.PowerOn(0); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	stepped, lazy := mk(), mk()
+
+	// Lock-step: one Euler step per 0.1 s period, accumulated like the
+	// cluster ticker accumulates its schedule.
+	now := 0.0
+	for now < 50 {
+		now += 0.1
+		stepped.Step(now)
+	}
+	// Demand-driven: one catch-up sync over the whole window.
+	lazy.SyncTo(now)
+
+	for _, s := range thermal.Sensors {
+		if a, b := stepped.Temperature(s), lazy.Temperature(s); a != b {
+			t.Errorf("%v: stepped %v != lazy %v", s, a, b)
+		}
+	}
+	if a, b := stepped.Stats().SystemInt, lazy.Stats().SystemInt; a != b {
+		t.Errorf("SystemInt: stepped %v != lazy %v", a, b)
+	}
+	if stepped.State() != StateRunning || lazy.State() != StateRunning {
+		t.Fatalf("states = %v / %v, want running", stepped.State(), lazy.State())
+	}
+	if stepped.ModelSteps() != lazy.ModelSteps() {
+		t.Errorf("active-phase model steps differ: %d vs %d", stepped.ModelSteps(), lazy.ModelSteps())
+	}
+}
+
+// TestQuiescentRelaxSkipsSteps: once a node settles, a long sync costs no
+// Euler steps and lands within the quiescence tolerance of the stepped
+// trajectory.
+func TestQuiescentRelaxSkipsSteps(t *testing.T) {
+	mk := func() *Node {
+		n, err := New(Config{ID: 1, Enclosure: thermal.Enclosure{AmbientC: 25, LidOn: false}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.PowerOn(0); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	stepped, lazy := mk(), mk()
+	now := 0.0
+	for now < 3000 {
+		now += 0.1
+		stepped.Step(now)
+	}
+	// First catch-up covers the active relaxation on the grid; by 3000 s
+	// an idle node is quiescent.
+	lazy.SyncTo(3000)
+	before := lazy.ModelSteps()
+	lazy.SyncTo(10000)
+	if got := lazy.ModelSteps() - before; got != 0 {
+		t.Errorf("quiescent sync used %d Euler steps, want 0", got)
+	}
+	for now < 10000 {
+		now += 0.1
+		stepped.Step(now)
+	}
+	for _, s := range thermal.Sensors {
+		if d := math.Abs(stepped.Temperature(s) - lazy.Temperature(s)); d > 2e-3 {
+			t.Errorf("%v diverged by %v degC after quiescent relax", s, d)
+		}
+	}
+	// Counters advance exactly through the relax path too.
+	if a, b := stepped.Stats().SystemInt, lazy.Stats().SystemInt; math.Abs(a-b) > 1e-6*a {
+		t.Errorf("SystemInt diverged: %v vs %v", a, b)
+	}
+}
+
+// TestNextDeadlineContract: booting nodes report their boot completion,
+// runaway nodes report finite refinement deadlines down to the base step,
+// cool stable nodes report none.
+func TestNextDeadlineContract(t *testing.T) {
+	n, err := New(Config{ID: 7, Enclosure: thermal.DefaultEnclosure()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := n.NextDeadline(); !math.IsInf(d, 1) {
+		t.Errorf("off node deadline = %v, want +Inf", d)
+	}
+	if err := n.PowerOn(0); err != nil {
+		t.Fatal(err)
+	}
+	if d := n.NextDeadline(); d != n.BootDeadline() {
+		t.Errorf("booting deadline = %v, want %v", d, n.BootDeadline())
+	}
+	n.SyncTo(n.BootDeadline())
+	if n.State() != StateRunning {
+		t.Fatalf("state = %v at boot deadline", n.State())
+	}
+	// Idle on the hazard slot is stable and cool: no deadline.
+	if d := n.NextDeadline(); !math.IsInf(d, 1) {
+		t.Errorf("idle deadline = %v, want +Inf", d)
+	}
+	// HPL on the hazard slot runs away: finite deadline, shrinking to the
+	// base step as the junction approaches the trip band.
+	if err := n.SetWorkload("hpl", power.ActivityHPL, 13e9); err != nil {
+		t.Fatal(err)
+	}
+	d := n.NextDeadline()
+	if math.IsInf(d, 1) || d <= n.BootDeadline() {
+		t.Fatalf("runaway deadline = %v, want finite future time", d)
+	}
+	for i := 0; i < 100000 && n.State() == StateRunning; i++ {
+		at := n.NextDeadline()
+		if math.IsInf(at, 1) {
+			t.Fatal("runaway node reported no deadline before tripping")
+		}
+		n.SyncTo(at)
+	}
+	if n.State() != StateHalted {
+		t.Fatal("deadline-driven integration missed the trip")
+	}
+	if n.HaltedAt() <= 0 {
+		t.Errorf("HaltedAt = %v", n.HaltedAt())
+	}
+}
+
+// TestTransitionCallbacks: boot completion and halt are pushed with the
+// substep times they were integrated at.
+func TestTransitionCallbacks(t *testing.T) {
+	n, err := New(Config{ID: 7, Enclosure: thermal.DefaultEnclosure()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Transition
+	var times []float64
+	n.OnTransition(func(kind Transition, at float64) {
+		kinds = append(kinds, kind)
+		times = append(times, at)
+	})
+	inputChanges := 0
+	n.OnInputChange(func() { inputChanges++ })
+	if err := n.PowerOn(0); err != nil {
+		t.Fatal(err)
+	}
+	if inputChanges != 1 {
+		t.Errorf("power-on input changes = %d, want 1", inputChanges)
+	}
+	n.SyncTo(40)
+	if len(kinds) != 1 || kinds[0] != TransitionBootComplete {
+		t.Fatalf("transitions after boot = %v", kinds)
+	}
+	if times[0] < R1Duration+R2Duration || times[0] > R1Duration+R2Duration+0.1+1e-9 {
+		t.Errorf("boot transition at %v, want ~%v", times[0], R1Duration+R2Duration)
+	}
+	if err := n.SetWorkload("hpl", power.ActivityHPL, 13e9); err != nil {
+		t.Fatal(err)
+	}
+	n.SyncTo(7200)
+	if len(kinds) != 2 || kinds[1] != TransitionHalt {
+		t.Fatalf("transitions after runaway = %v", kinds)
+	}
+	if times[1] != n.HaltedAt() {
+		t.Errorf("halt transition at %v, HaltedAt %v", times[1], n.HaltedAt())
+	}
+	// Same-value DVFS writes are not input changes.
+	before := inputChanges
+	n.SetFrequencyScale(n.FrequencyScale())
+	if inputChanges != before {
+		t.Error("same-value SetFrequencyScale reported an input change")
+	}
+}

@@ -35,7 +35,7 @@ type Policy interface {
 }
 
 // PolicyNames lists the registered policy names in presentation order.
-func PolicyNames() []string { return []string{"fifo", "easy", "sjf", "bestfit"} }
+func PolicyNames() []string { return []string{"fifo", "easy", "sjf", "bestfit", "powercap"} }
 
 // PolicyByName resolves a registered policy by name.
 func PolicyByName(name string) (Policy, error) {
@@ -48,8 +48,47 @@ func PolicyByName(name string) (Policy, error) {
 		return SJF(), nil
 	case "bestfit":
 		return BestFit(), nil
+	case "powercap":
+		return PowerCap(), nil
 	}
 	return nil, fmt.Errorf("sched: unknown policy %q (have %v)", name, PolicyNames())
+}
+
+// PowerAdvisor supplies the power-plane knowledge power-aware policies
+// decide with. The cluster power governor implements it; the scheduler
+// stays free of any physics or telemetry dependency.
+type PowerAdvisor interface {
+	// PredictedJobWatts returns the predicted incremental cluster draw
+	// (watts) of placing a job of the given activity class on the given
+	// node count — the rail model evaluated at the class's activity
+	// profile, minus the idle draw the nodes already contribute.
+	PredictedJobWatts(activityClass string, nodes int) float64
+	// HeadroomWatts returns the budget headroom currently available for
+	// new placements (budget minus measured draw minus unexpired
+	// placement reservations).
+	HeadroomWatts() float64
+	// NodeTempC returns a node's SoC junction temperature, for
+	// cooler-node-first placement.
+	NodeTempC(host string) float64
+	// NotePlacement records that a job of the given class was just placed
+	// on the given node count, reserving its predicted watts until the
+	// measured draw catches up.
+	NotePlacement(activityClass string, nodes int)
+}
+
+// PowerAwarePolicy is implemented by policies that consult a PowerAdvisor
+// (installed via WithPowerAdvisor).
+type PowerAwarePolicy interface {
+	Policy
+	SetAdvisor(PowerAdvisor)
+}
+
+// admissionGate is implemented by policies that can refuse (delay) the
+// start of a job that fits node-wise — the power-budget gate. runningJobs
+// is the number of jobs currently executing; a gate must admit when it is
+// zero, or an over-budget head could starve the whole queue.
+type admissionGate interface {
+	Admit(job *Job, runningJobs int) bool
 }
 
 // Option configures the scheduler.
@@ -71,6 +110,16 @@ func WithBackfill(enabled bool) Option {
 	}
 	return WithPolicy(FIFO())
 }
+
+type advisorOption struct{ a PowerAdvisor }
+
+func (o advisorOption) apply(s *Scheduler) { s.advisor = o.a }
+
+// WithPowerAdvisor installs the power plane's advisor: power-aware
+// policies gate admissions on it and prefer cooler nodes, and every
+// placement is reported back so the plane can reserve budget until its
+// measurements catch up. Policies that are not power-aware ignore it.
+func WithPowerAdvisor(a PowerAdvisor) Option { return advisorOption{a} }
 
 type linearScanOption bool
 

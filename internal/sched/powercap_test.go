@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"montecimone/internal/sim"
+)
+
+// fakeAdvisor is a deterministic PowerAdvisor for scheduler-level tests.
+type fakeAdvisor struct {
+	perNodeW   float64
+	headroomW  float64
+	temps      map[string]float64
+	placements []string
+}
+
+func (f *fakeAdvisor) PredictedJobWatts(class string, nodes int) float64 {
+	return float64(nodes) * f.perNodeW
+}
+func (f *fakeAdvisor) HeadroomWatts() float64 { return f.headroomW }
+func (f *fakeAdvisor) NodeTempC(host string) float64 {
+	if t, ok := f.temps[host]; ok {
+		return t
+	}
+	return 50
+}
+func (f *fakeAdvisor) NotePlacement(class string, nodes int) {
+	f.placements = append(f.placements, fmt.Sprintf("%s/%d", class, nodes))
+}
+
+// TestPowerCapDelaysOverBudgetHead: a job whose predicted draw exceeds
+// headroom waits while other work runs, starts once headroom returns via
+// Reschedule, and placements are reported to the advisor.
+func TestPowerCapDelaysOverBudgetHead(t *testing.T) {
+	e := sim.NewEngine()
+	adv := &fakeAdvisor{perNodeW: 2, headroomW: 5}
+	s, err := New(e, "p", hosts(8), WithPolicy(PowerCap()), WithPowerAdvisor(adv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Submit(JobSpec{Name: "a", Nodes: 2, TimeLimit: 100, Duration: 50, ActivityClass: "hpl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 nodes x 2 W = 8 W > 5 W headroom: must wait even though nodes are
+	// free.
+	second, err := s.Submit(JobSpec{Name: "b", Nodes: 4, TimeLimit: 100, Duration: 50, ActivityClass: "hpl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if first.State() != StateRunning {
+		t.Fatalf("first job state = %s", first.State())
+	}
+	if second.State() != StatePending {
+		t.Fatalf("over-budget job state = %s, want PENDING", second.State())
+	}
+	// Headroom returns (the plane would call Reschedule on its control
+	// tick).
+	adv.headroomW = 20
+	s.Reschedule()
+	if err := e.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	if second.State() != StateRunning {
+		t.Fatalf("job still %s after headroom returned", second.State())
+	}
+	if len(adv.placements) != 2 || adv.placements[0] != "hpl/2" || adv.placements[1] != "hpl/4" {
+		t.Errorf("placements reported = %v", adv.placements)
+	}
+}
+
+// TestPowerCapForcedProgress: an over-budget head is admitted when
+// nothing is running, so the queue can never deadlock on the budget.
+func TestPowerCapForcedProgress(t *testing.T) {
+	e := sim.NewEngine()
+	adv := &fakeAdvisor{perNodeW: 10, headroomW: 0}
+	s, err := New(e, "p", hosts(4), WithPolicy(PowerCap()), WithPowerAdvisor(adv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := s.Submit(JobSpec{Name: "big", Nodes: 4, TimeLimit: 50, Duration: 10, ActivityClass: "hpl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if job.State() != StateRunning {
+		t.Fatalf("idle-cluster job state = %s, want RUNNING (forced progress)", job.State())
+	}
+}
+
+// TestPowerCapPicksCoolestHosts: allocation prefers the coolest idle
+// nodes, stable on ties.
+func TestPowerCapPicksCoolestHosts(t *testing.T) {
+	e := sim.NewEngine()
+	adv := &fakeAdvisor{perNodeW: 0, headroomW: 100, temps: map[string]float64{
+		"mc01": 70, "mc02": 40, "mc03": 55, "mc04": 35,
+	}}
+	s, err := New(e, "p", hosts(4), WithPolicy(PowerCap()), WithPowerAdvisor(adv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := s.Submit(JobSpec{Name: "cool", Nodes: 2, TimeLimit: 50, Duration: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(1); err != nil {
+		t.Fatal(err)
+	}
+	got := job.Hosts()
+	if len(got) != 2 || got[0] != "mc04" || got[1] != "mc02" {
+		t.Errorf("hosts = %v, want [mc04 mc02] (coolest first)", got)
+	}
+}
+
+// TestPowerCapWithoutAdvisorIsFIFO: no advisor, no gating — the policy
+// degrades to plain FIFO placement in partition order.
+func TestPowerCapWithoutAdvisorIsFIFO(t *testing.T) {
+	e := sim.NewEngine()
+	s, err := New(e, "p", hosts(4), WithPolicy(PowerCap()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := s.Submit(JobSpec{Name: "plain", Nodes: 2, TimeLimit: 50, Duration: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(1); err != nil {
+		t.Fatal(err)
+	}
+	got := job.Hosts()
+	if len(got) != 2 || got[0] != "mc01" || got[1] != "mc02" {
+		t.Errorf("hosts = %v, want partition order", got)
+	}
+}

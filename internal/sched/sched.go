@@ -64,6 +64,12 @@ type JobSpec struct {
 	Duration float64
 	// Requeue controls whether a NODE_FAIL puts the job back in the queue.
 	Requeue bool
+	// ActivityClass names the workload's activity profile ("hpl",
+	// "stream.ddr", ...; see power.ClassActivity) so power-aware policies
+	// can predict the job's draw before placing it. Empty means idle-like
+	// (no incremental draw predicted); unknown classes predict
+	// conservatively as HPL, the heaviest profile.
+	ActivityClass string
 	// OnStart runs when the job starts, with the allocated hostnames.
 	OnStart func(job *Job, hosts []string)
 	// OnEnd runs when the job leaves the node set, with the final state.
@@ -114,6 +120,7 @@ type Scheduler struct {
 	engine      *sim.Engine
 	partition   string
 	policy      Policy
+	advisor     PowerAdvisor
 	linearScan  bool
 	fifoOrdered bool // policy priority == submission order; skip sorting
 
@@ -155,6 +162,9 @@ func New(engine *sim.Engine, partition string, hostnames []string, opts ...Optio
 	}
 	if s.policy == nil {
 		return nil, fmt.Errorf("sched: nil policy")
+	}
+	if pa, ok := s.policy.(PowerAwarePolicy); ok && s.advisor != nil {
+		pa.SetAdvisor(s.advisor)
 	}
 	_, s.fifoOrdered = s.policy.(interface{ keepsSubmissionOrder() })
 	if s.linearScan {
@@ -265,6 +275,12 @@ func (s *Scheduler) Job(id int) (*Job, bool) {
 	return j, ok
 }
 
+// Reschedule requests a scheduling pass at the current instant. External
+// controllers use it when conditions the scheduler cannot see change —
+// the power plane calls it when budget headroom reappears, so
+// power-delayed heads do not wait for the next job event.
+func (s *Scheduler) Reschedule() { s.kick() }
+
 // kick schedules a trySchedule pass at the current instant.
 func (s *Scheduler) kick() {
 	// Scheduling runs as an event so that submissions during event
@@ -312,6 +328,13 @@ func (s *Scheduler) trySchedule() {
 			continue
 		}
 		if head.Spec.Nodes > s.free.Count() {
+			break
+		}
+		if gate, ok := s.policy.(admissionGate); ok && !gate.Admit(head, s.releases.Len()) {
+			// The head fits node-wise but not budget-wise: stop the pass
+			// (power-aware policies run no backfill, so nothing overtakes
+			// it) and wait for job completions or a power plane
+			// Reschedule to retry.
 			break
 		}
 		before := s.nextID
@@ -438,6 +461,10 @@ func (s *Scheduler) start(job *Job, hosts []string) {
 	}
 	job.release = &releaseEntry{at: job.started + job.Spec.TimeLimit, nodes: len(hosts), jobID: job.ID}
 	s.releases.push(job.release)
+	if s.advisor != nil {
+		// Reserve the predicted draw until the plane's measurements see it.
+		s.advisor.NotePlacement(job.Spec.ActivityClass, job.Spec.Nodes)
+	}
 	runFor := job.Spec.Duration
 	final := StateCompleted
 	if job.Spec.TimeLimit < runFor {

@@ -30,7 +30,8 @@ type Event struct {
 	name string
 
 	cancelled bool
-	index     int // heap index, -1 once popped or cancelled
+	queue     *eventQueue // owning queue while pending, nil once popped
+	index     int         // heap index, -1 once popped or cancelled
 }
 
 // At returns the virtual time (seconds) the event is scheduled for.
@@ -39,9 +40,17 @@ func (e *Event) At() float64 { return e.at }
 // Name returns the diagnostic label given at scheduling time.
 func (e *Event) Name() string { return e.name }
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// Cancel prevents a pending event from firing and removes it from the
+// engine's queue immediately, so long runs that cancel many events (ticker
+// stops, rescheduled watchdogs) do not accumulate dead heap entries.
+// Cancelling an event that has already fired (or was already cancelled) is
+// a no-op.
+func (e *Event) Cancel() {
+	e.cancelled = true
+	if e.queue != nil && e.index >= 0 {
+		e.queue.Remove(e.index)
+	}
+}
 
 // Engine is a discrete-event simulator with a virtual clock.
 // The zero value is not usable; construct with NewEngine.
@@ -66,8 +75,9 @@ func (e *Engine) Now() float64 { return e.now }
 // and determinism check.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending returns the number of events currently queued (including events
-// that were cancelled but not yet discarded).
+// Pending returns the number of live (non-cancelled) events currently
+// queued. Cancelled events are removed from the queue eagerly, so the count
+// never includes them.
 func (e *Engine) Pending() int { return e.queue.Len() }
 
 // ScheduleAt registers fn to run at absolute virtual time at (seconds).
@@ -80,7 +90,7 @@ func (e *Engine) ScheduleAt(at float64, name string, fn func(*Engine)) (*Event, 
 	if at < e.now {
 		return nil, fmt.Errorf("sim: schedule %q: time %.9f is before now %.9f", name, at, e.now)
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, name: name}
+	ev := &Event{at: at, seq: e.seq, fn: fn, name: name, queue: &e.queue}
 	e.seq++
 	e.queue.Push(ev)
 	return ev, nil
@@ -103,7 +113,7 @@ func (e *Engine) Step() bool {
 	for e.queue.Len() > 0 {
 		ev := e.queue.Pop()
 		if ev.cancelled {
-			continue
+			continue // cancelled mid-pop by a concurrent callback; skip
 		}
 		e.now = ev.at
 		e.executed++

@@ -314,3 +314,92 @@ func TestRNGStreamIsolation(t *testing.T) {
 		t.Fatal("stream b perturbed by draws on stream a")
 	}
 }
+
+func TestCancelledEventsCompactEagerly(t *testing.T) {
+	// Regression: Cancel used to leave dead entries in the heap until
+	// their timestamp aged to the front, so long runs with many
+	// Ticker.Stop / Event.Cancel calls grew the queue without bound and
+	// Pending() over-reported.
+	e := NewEngine()
+	var events []*Event
+	for i := 0; i < 1000; i++ {
+		ev, err := e.ScheduleAt(float64(i+1), "ev", func(*Engine) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	if e.Pending() != 1000 {
+		t.Fatalf("Pending = %d, want 1000", e.Pending())
+	}
+	for i, ev := range events {
+		if i%2 == 0 {
+			ev.Cancel()
+		}
+	}
+	if e.Pending() != 500 {
+		t.Fatalf("Pending after cancelling half = %d, want 500 (live events only)", e.Pending())
+	}
+	for _, ev := range events {
+		ev.Cancel()
+		ev.Cancel() // idempotent
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after cancelling all = %d, want 0", e.Pending())
+	}
+	// Cancelled events never fire and the clock still reaches the horizon.
+	if err := e.RunUntil(2000); err != nil {
+		t.Fatal(err)
+	}
+	if e.Executed() != 0 {
+		t.Fatalf("cancelled events executed: %d", e.Executed())
+	}
+
+	// The reschedule-heavy pattern (cancel + schedule in a loop, as the
+	// cluster watchdogs and ticker stops do) must keep the queue flat.
+	var watch *Event
+	for i := 0; i < 10000; i++ {
+		if watch != nil {
+			watch.Cancel()
+		}
+		ev, err := e.ScheduleAfter(float64(i%7+1), "watch", func(*Engine) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		watch = ev
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after reschedule loop = %d, want 1", e.Pending())
+	}
+}
+
+func TestCancelHeapOrderPreserved(t *testing.T) {
+	// Removing from the middle of the heap must keep execution ordered.
+	e := NewEngine()
+	var got []float64
+	times := []float64{9, 3, 7, 1, 8, 2, 6, 4, 5, 10}
+	events := make(map[float64]*Event)
+	for _, at := range times {
+		at := at
+		ev, err := e.ScheduleAt(at, "ev", func(*Engine) { got = append(got, at) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		events[at] = ev
+	}
+	events[1].Cancel()
+	events[7].Cancel()
+	events[10].Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 4, 5, 6, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("executed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("executed %v, want %v", got, want)
+		}
+	}
+}

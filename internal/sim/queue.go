@@ -34,7 +34,31 @@ func (q *eventQueue) Pop() *Event {
 		q.down(0)
 	}
 	top.index = -1
+	top.queue = nil
 	return top
+}
+
+// Remove deletes the event at heap index i (used by Event.Cancel to drop
+// cancelled events eagerly instead of letting them age to the front).
+func (q *eventQueue) Remove(i int) {
+	n := len(q.items)
+	if i < 0 || i >= n {
+		return
+	}
+	ev := q.items[i]
+	last := n - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q.items[last] = nil
+	q.items = q.items[:last]
+	if i != last {
+		// The swapped-in element may need to move either way.
+		q.down(i)
+		q.up(i)
+	}
+	ev.index = -1
+	ev.queue = nil
 }
 
 func (q *eventQueue) less(i, j int) bool {

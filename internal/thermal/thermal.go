@@ -252,6 +252,78 @@ func (m *Model) Tripped() bool { return m.tripped }
 // ClearTrip resets the latched trip (node power-cycled after cooling).
 func (m *Model) ClearTrip() { m.tripped = false }
 
+// Steady is the equilibrium temperature vector for a constant power input.
+type Steady struct {
+	CPU, MB, NVMe float64
+}
+
+// Steady solves the equilibrium of all three sensors for constant socW and
+// nvmeW. Stable is false when the SoC has no equilibrium below the trip
+// point (thermal runaway); CPU then holds the trip temperature.
+func (m *Model) Steady(socW, nvmeW float64) (Steady, bool) {
+	cpu, stable := m.SteadyStateCPU(socW)
+	return Steady{
+		CPU:  cpu,
+		MB:   m.enc.AmbientC + 0.8*m.env.AirRiseC + 1.2*socW,
+		NVMe: m.enc.AmbientC + 0.5*m.env.AirRiseC + 8.0*nvmeW,
+	}, stable
+}
+
+// Quiescent reports whether all three sensors sit within eps of the stable
+// equilibrium for the given constant inputs. A slot in runaway (no stable
+// equilibrium) is never quiescent.
+func (m *Model) Quiescent(socW, nvmeW, eps float64) bool {
+	ss, stable := m.Steady(socW, nvmeW)
+	return stable && m.NearSteady(ss, eps)
+}
+
+// NearSteady reports whether all three sensors sit within eps of the
+// given (caller-solved, typically cached) equilibrium.
+func (m *Model) NearSteady(ss Steady, eps float64) bool {
+	return math.Abs(m.cpuC-ss.CPU) <= eps &&
+		math.Abs(m.mbC-ss.MB) <= eps &&
+		math.Abs(m.nvmeC-ss.NVMe) <= eps
+}
+
+// Relax advances the model by dt seconds using the closed-form exponential
+// solution towards the constant-input equilibrium instead of Euler
+// substeps. It is only accurate when the model is already quiescent for
+// these inputs (the equilibria are then effectively constant over the
+// step); callers gate it on Quiescent. The trip latch cannot engage here:
+// quiescence implies a stable equilibrium below the trip point.
+func (m *Model) Relax(dt, socW, nvmeW float64) {
+	ss, _ := m.Steady(socW, nvmeW)
+	m.RelaxToward(dt, ss)
+}
+
+// RelaxToward is Relax with a caller-solved (typically cached) equilibrium.
+func (m *Model) RelaxToward(dt float64, ss Steady) {
+	if dt <= 0 {
+		return
+	}
+	m.cpuC = ss.CPU + (m.cpuC-ss.CPU)*math.Exp(-dt/tauCPU)
+	m.mbC = ss.MB + (m.mbC-ss.MB)*math.Exp(-dt/tauMB)
+	m.nvmeC = ss.NVMe + (m.nvmeC-ss.NVMe)*math.Exp(-dt/tauNVMe)
+}
+
+// TimeToReach returns a conservative lower bound (in seconds) on the time
+// for the SoC sensor to first reach targetC under constant socW, or +Inf
+// when the trajectory can never get there. The bound uses the largest
+// instantaneous equilibrium the leakage feedback can produce below the
+// trip point, so the true crossing always happens at or after the returned
+// time — watchdog wakeups based on it can only be early, never late.
+func (m *Model) TimeToReach(socW, targetC float64) float64 {
+	if m.cpuC >= targetC {
+		return 0
+	}
+	air := m.enc.AmbientC + m.env.AirRiseC
+	ssBound := air + m.env.RthKW*effectivePower(socW, TripTempC)
+	if ssBound <= targetC {
+		return math.Inf(1)
+	}
+	return tauCPU * math.Log((ssBound-m.cpuC)/(ssBound-targetC))
+}
+
 // SteadyStateCPU solves the equilibrium SoC temperature for a constant
 // power draw, accounting for the leakage feedback. The boolean is false
 // when the slot has no stable equilibrium below the trip point (thermal
