@@ -8,8 +8,12 @@ package montecimone_test
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"montecimone/internal/cluster"
 	"montecimone/internal/core"
@@ -752,6 +756,174 @@ func BenchmarkPhysicsStep(b *testing.B) {
 				steps := float64(c.ModelSteps()-start) / float64(b.N)
 				b.ReportMetric(steps, "model-steps/window")
 				b.ReportMetric(steps/float64(nodes), "steps/node-window")
+			})
+		}
+	}
+}
+
+// BenchmarkQueryServe drives concurrent dashboard-style load against the
+// telemetry read path during live ingest: selective per-node REST queries
+// (aggregated and raw) plus periodic whole-cluster heatmap rebuilds, at
+// 64 and 512 synthetic nodes with the deployment's realistic series
+// density (8 PMU counters x 8 harts + 32 stats_pub metrics + cpu_temp =
+// 97 series per node, ~50k series at 512 nodes). The engine is the mcmon
+// default ("mem"). "indexed" runs the default read path — inverted tag
+// index, snapshot fan-out across cores, ingest-time rollup tiers —
+// "linear" runs the examon.WithLinearScan ablation (the seed's full
+// series walk per query, raw-only aggregation), mirroring the
+// scheduler's easy-rescan ablation. Acceptance floor: the indexed
+// selective path serves >= 10x the linear queries/s at 512 nodes.
+func BenchmarkQueryServe(b *testing.B) {
+	const (
+		cores       = 8
+		pmuMetrics  = 8
+		statMetrics = 32
+		ticks       = 120 // 2 Hz -> 60 s of history, one full rollup bucket
+	)
+	pmu := make([]string, pmuMetrics)
+	pmu[0], pmu[1] = "instret", "cycle"
+	for i := 2; i < pmuMetrics; i++ {
+		pmu[i] = fmt.Sprintf("hpm%02d", i)
+	}
+	stats := make([]string, statMetrics)
+	for i := range stats {
+		stats[i] = fmt.Sprintf("stat%02d", i)
+	}
+	mkHosts := func(nodes int) []string {
+		hosts := make([]string, nodes)
+		for i := range hosts {
+			hosts[i] = fmt.Sprintf("syn%04d", i+1)
+		}
+		return hosts
+	}
+	clusterTick := func(st examon.Storage, hosts []string, tick int) {
+		now := float64(tick) * 0.5
+		batch := make([]examon.Sample, 0, cores*pmuMetrics+statMetrics+1)
+		for _, host := range hosts {
+			batch = batch[:0]
+			for core := 0; core < cores; core++ {
+				for _, m := range pmu {
+					batch = append(batch, examon.Sample{
+						Tags: examon.Tags{Org: "unibo", Cluster: "syn", Node: host,
+							Plugin: "pmu_pub", Core: core, Metric: m},
+						T: now, V: float64(tick * 100),
+					})
+				}
+			}
+			for _, m := range stats {
+				batch = append(batch, examon.Sample{
+					Tags: examon.Tags{Org: "unibo", Cluster: "syn", Node: host,
+						Plugin: "dstat_pub", Core: -1, Metric: m},
+					T: now, V: float64(tick % 7),
+				})
+			}
+			batch = append(batch, examon.Sample{
+				Tags: examon.Tags{Org: "unibo", Cluster: "syn", Node: host,
+					Plugin: "dstat_pub", Core: -1, Metric: "temperature.cpu_temp"},
+				T: now, V: 40,
+			})
+			st.InsertBatch(batch)
+		}
+	}
+	setup := func(b *testing.B, hosts []string, opts []examon.StoreOption) (examon.Storage, func()) {
+		b.Helper()
+		st := examon.NewMemStore(opts...)
+		for tick := 0; tick < ticks; tick++ {
+			clusterTick(st, hosts, tick)
+		}
+		stop := make(chan struct{})
+		var iwg sync.WaitGroup
+		iwg.Add(1)
+		go func() { // live ingest at a paced tick rate during the queries
+			defer iwg.Done()
+			tick := ticks
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				clusterTick(st, hosts, tick)
+				tick++
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+		return st, func() { close(stop); iwg.Wait() }
+	}
+	modes := []struct {
+		name string
+		opts []examon.StoreOption
+	}{
+		{"indexed", nil},
+		{"linear", []examon.StoreOption{examon.WithLinearScan(true), examon.WithRollup(-1)}},
+	}
+	for _, nodes := range []int{64, 512} {
+		hosts := mkHosts(nodes)
+		for _, mode := range modes {
+			mode := mode
+			b.Run(fmt.Sprintf("selective/%s/%dnodes", mode.name, nodes), func(b *testing.B) {
+				st, stopIngest := setup(b, hosts, mode.opts)
+				defer stopIngest()
+				srv, err := examon.NewRESTServer(st)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ts := httptest.NewServer(srv)
+				defer ts.Close()
+				client := ts.Client()
+				client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						host := hosts[i%len(hosts)]
+						var url string
+						if i%2 == 0 {
+							// Aligned aggregation: index + rollup tier.
+							url = ts.URL + "/api/v2/query?node=" + host +
+								"&plugin=pmu_pub&metric=instret&core=1&agg=avg&step=60&from=0&to=240"
+						} else {
+							// Raw range query through the streaming encoder.
+							url = ts.URL + "/api/v1/query?node=" + host +
+								"&metric=cycle&core=2&from=10&to=50&limit=100000"
+						}
+						resp, err := client.Get(url)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						_, _ = io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != 200 {
+							b.Errorf("query -> %d", resp.StatusCode)
+							return
+						}
+						i++
+					}
+				})
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			})
+			b.Run(fmt.Sprintf("heatmap/%s/%dnodes", mode.name, nodes), func(b *testing.B) {
+				st, stopIngest := setup(b, hosts, mode.opts)
+				defer stopIngest()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Rollup-aligned whole-cluster heatmap: one multi-node
+					// query over the dstat temperature gauge.
+					hm, err := examon.BuildHeatmap(st, hosts, examon.HeatmapOptions{
+						Plugin: "dstat_pub", Metric: "temperature.cpu_temp",
+						From: 0, To: 60, BinWidth: 60,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if hm.Bins() != 1 {
+						b.Fatalf("bins = %d", hm.Bins())
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "heatmaps/s")
 			})
 		}
 	}

@@ -7,11 +7,16 @@
 // Usage:
 //
 //	mcmon [-nodes N] [-workload hpl] [-duration 120] [-backend mem]
-//	      [-budget-w W] [-serve :8080]
+//	      [-budget-w W] [-serve :8080] [-linear-scan] [-rollup-step 60]
 //
 // -budget-w enables the cluster power plane for the monitored run: per-node
 // power_pub telemetry feeds the budget governor, whose state is printed
 // after the run and served at /api/v2/powerplane alongside the query API.
+//
+// -linear-scan reinstates the storage engine's full linear series walk on
+// every read (the read-path benchmark ablation: no inverted tag index, no
+// snapshot fan-out, no rollup serving), and -rollup-step tunes the
+// ingest-time rollup bucket width in seconds (0 disables the tiers).
 package main
 
 import (
@@ -36,18 +41,27 @@ func main() {
 		"ExaMon storage engine ("+strings.Join(examon.StorageBackends(), ", ")+")")
 	budgetW := flag.Float64("budget-w", 0, "cluster power budget in watts (0 disables the power plane)")
 	serve := flag.String("serve", "", "serve the REST API on this address after the run (e.g. :8080)")
+	linearScan := flag.Bool("linear-scan", false,
+		"disable the read-path index/rollup/fan-out layers (benchmark ablation)")
+	rollupStep := flag.Float64("rollup-step", examon.DefaultRollupStep,
+		"ingest-time rollup bucket width in seconds (0 disables the rollup tiers)")
 	flag.Parse()
-	if err := run(os.Stdout, *nodes, *workload, *duration, *backend, *serve, *budgetW); err != nil {
+	if err := run(os.Stdout, *nodes, *workload, *duration, *backend, *serve, *budgetW, *linearScan, *rollupStep); err != nil {
 		fmt.Fprintln(os.Stderr, "mcmon:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, nodes int, workload string, duration float64, backend, serve string, budgetW float64) error {
+func run(w io.Writer, nodes int, workload string, duration float64, backend, serve string, budgetW float64, linearScan bool, rollupStep float64) error {
 	if backend == "" {
 		backend = "mem" // examon.NewStorage's default, named for the summary line
 	}
-	s, err := core.NewSystem(core.Options{Nodes: nodes, HPMPatch: true, Backend: backend, PowerBudgetW: budgetW})
+	rollup := rollupStep
+	if rollup <= 0 {
+		rollup = -1 // core.Options: negative disables, zero keeps the default
+	}
+	s, err := core.NewSystem(core.Options{Nodes: nodes, HPMPatch: true, Backend: backend,
+		PowerBudgetW: budgetW, LinearScan: linearScan, RollupStepS: rollup})
 	if err != nil {
 		return err
 	}
@@ -72,8 +86,12 @@ func run(w io.Writer, nodes int, workload string, duration float64, backend, ser
 	end := s.Engine.Now()
 
 	fmt.Fprintf(w, "monitored %d nodes for %.0f virtual seconds under %q\n", nodes, duration, workload)
-	fmt.Fprintf(w, "broker messages: %d; stored series: %d (backend %s)\n",
-		s.Broker.Published(), s.DB.SeriesCount(), backend)
+	readPath := "indexed reads"
+	if linearScan {
+		readPath = "linear-scan reads"
+	}
+	fmt.Fprintf(w, "broker messages: %d; stored series: %d (backend %s, %s)\n",
+		s.Broker.Published(), s.DB.SeriesCount(), backend, readPath)
 
 	// Per-node instruction-rate summary from the pmu_pub data.
 	hm, err := examon.BuildHeatmap(s.DB, hosts, examon.HeatmapOptions{

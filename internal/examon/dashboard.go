@@ -26,6 +26,16 @@ func (h *Heatmap) Bins() int {
 	return len(h.Values[0])
 }
 
+// heatmapPerNodeQueryMax is the requested-node count up to which
+// BuildHeatmap issues one Node-filtered query per node; wider requests
+// amortize a single multi-node query across all rows. The threshold
+// trades per-query overhead (snapshot + validation per node) against the
+// multi-node query aggregating — and discarding — unrequested nodes'
+// series when the request is a proper subset of a bigger cluster; the
+// Storage interface cannot reveal the cluster's node population, so a
+// subset wider than this still pays the discard on a much larger store.
+const heatmapPerNodeQueryMax = 32
+
 // HeatmapOptions configure BuildHeatmap.
 type HeatmapOptions struct {
 	// Plugin and Metric select the series.
@@ -40,10 +50,16 @@ type HeatmapOptions struct {
 	From, To, BinWidth float64
 }
 
-// BuildHeatmap aggregates stored data into a heatmap over the given nodes.
-// It runs on the v2 aggregating query layer: one QueryAgg per node with the
-// bin width as the downsampling step, so the binning happens inside the
-// storage engine's scan instead of over copied-out series.
+// BuildHeatmap aggregates stored data into a heatmap over the given nodes
+// on the v2 aggregating query layer, with the bin width as the
+// downsampling step so series select through the inverted index (and, for
+// aligned bin widths, the rollup tiers) instead of the former
+// one-full-scan-per-node loop. Requests up to heatmapPerNodeQueryMax
+// unique nodes issue one Node-filtered query per node; wider requests
+// collapse into ONE multi-node query whose result is grouped into rows.
+// Per-row accumulation order matches the old per-node queries (storage
+// order restricted to each node) in both strategies, so cell values are
+// bit-identical.
 func BuildHeatmap(st Storage, nodes []string, opts HeatmapOptions) (*Heatmap, error) {
 	if st == nil {
 		return nil, fmt.Errorf("examon: heatmap needs a storage engine")
@@ -68,48 +84,84 @@ func BuildHeatmap(st Storage, nodes []string, opts HeatmapOptions) (*Heatmap, er
 	if opts.Rate {
 		op = AggRate
 	}
+	// Duplicate node names get duplicate (identical) rows, like the old
+	// per-node loop produced.
+	rows := make(map[string][]int, len(nodes))
 	for r, nodeName := range nodes {
-		sums := make([]float64, bins)
-		counts := make([]int, bins)
-		agg, err := QueryAgg(st, Filter{
-			Node: nodeName, Plugin: opts.Plugin, Metric: opts.Metric,
-			From: opts.From, To: opts.To,
-		}, AggOptions{Op: op, Step: opts.BinWidth})
+		rows[nodeName] = append(rows[nodeName], r)
+	}
+	sums := make([][]float64, len(nodes))
+	counts := make([][]int, len(nodes))
+	perRowSeries := make([]int, len(nodes))
+	for r := range nodes {
+		sums[r] = make([]float64, bins)
+		counts[r] = make([]int, bins)
+	}
+	accumulate := func(f Filter) error {
+		agg, err := QueryAgg(st, f, AggOptions{Op: op, Step: opts.BinWidth})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, s := range agg {
-			for _, p := range s.Points {
-				bin := int(math.Round((p.T - opts.From) / opts.BinWidth))
-				if bin < 0 || bin >= bins {
-					continue
+			targets, ok := rows[s.Tags.Node]
+			if !ok {
+				continue // matched a node outside the requested rows
+			}
+			for _, r := range targets {
+				perRowSeries[r]++
+				for _, p := range s.Points {
+					bin := int(math.Round((p.T - opts.From) / opts.BinWidth))
+					if bin < 0 || bin >= bins {
+						continue
+					}
+					if opts.Rate {
+						// AggRate buckets carry the mean rate; recover the
+						// bucket sum so multi-core combining matches the
+						// original sample-weighted math.
+						sums[r][bin] += p.V * float64(p.N)
+					} else {
+						sums[r][bin] += p.V
+					}
+					counts[r][bin] += p.N
 				}
-				if opts.Rate {
-					// AggRate buckets carry the mean rate; recover the
-					// bucket sum so multi-core combining matches the
-					// original sample-weighted math.
-					sums[bin] += p.V * float64(p.N)
-				} else {
-					sums[bin] += p.V
-				}
-				counts[bin] += p.N
 			}
 		}
+		return nil
+	}
+	f := Filter{
+		Plugin: opts.Plugin, Metric: opts.Metric,
+		From: opts.From, To: opts.To,
+	}
+	if len(rows) <= heatmapPerNodeQueryMax {
+		// Drill-downs over a few nodes: one Node-restricted indexed query
+		// per unique node (each row's accumulation is independent, so the
+		// cross-node query order does not matter), instead of aggregating
+		// the whole cluster and discarding the unrequested rows.
+		for node := range rows {
+			f.Node = node
+			if err := accumulate(f); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := accumulate(f); err != nil {
+		return nil, err
+	}
+	for r := range nodes {
 		row := make([]float64, bins)
-		perBinSeries := len(agg)
+		perBinSeries := perRowSeries[r]
 		if perBinSeries == 0 {
 			perBinSeries = 1
 		}
 		for c := range row {
 			switch {
-			case counts[c] == 0:
+			case counts[r][c] == 0:
 				row[c] = math.NaN()
 			case opts.SumCores:
 				// Average over samples within the bin, summed across the
 				// per-core series: mean per series times series count.
-				row[c] = sums[c] / float64(counts[c]) * float64(perBinSeries)
+				row[c] = sums[r][c] / float64(counts[r][c]) * float64(perBinSeries)
 			default:
-				row[c] = sums[c] / float64(counts[c])
+				row[c] = sums[r][c] / float64(counts[r][c])
 			}
 		}
 		hm.Values[r] = row

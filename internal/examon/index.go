@@ -1,0 +1,65 @@
+package examon
+
+// The inverted tag index: every storage engine maintains posting lists
+// per filterable tag dimension (Node, Plugin, Metric, Core), updated when
+// a series is created, so a selective Scan intersects postings and visits
+// only candidate series instead of walking every stored series. Postings
+// hold positions into the engine's creation-order slice and are appended
+// at series creation, so each list is already sorted in scan order — the
+// index lookup picks the smallest applicable list and verifies the
+// remaining dimensions with Filter.matches (cheap compared to walking the
+// full series set). The linear walk is kept behind WithLinearScan as the
+// benchmarked ablation, mirroring sched.WithLinearScan.
+
+// tagIndex is the per-engine (per-shard for ShardedStore) inverted index.
+// It is guarded by the owning engine's lock.
+type tagIndex struct {
+	byNode   map[string][]int32
+	byPlugin map[string][]int32
+	byMetric map[string][]int32
+	byCore   map[int][]int32
+}
+
+func newTagIndex() *tagIndex {
+	return &tagIndex{
+		byNode:   make(map[string][]int32),
+		byPlugin: make(map[string][]int32),
+		byMetric: make(map[string][]int32),
+		byCore:   make(map[int][]int32),
+	}
+}
+
+// add indexes a newly created series at the given creation-order position.
+func (ix *tagIndex) add(pos int, t Tags) {
+	p := int32(pos)
+	ix.byNode[t.Node] = append(ix.byNode[t.Node], p)
+	ix.byPlugin[t.Plugin] = append(ix.byPlugin[t.Plugin], p)
+	ix.byMetric[t.Metric] = append(ix.byMetric[t.Metric], p)
+	ix.byCore[t.Core] = append(ix.byCore[t.Core], p)
+}
+
+// candidates returns the smallest posting list among the filter's set
+// dimensions, in creation order. ok is false when the filter selects no
+// indexed dimension (match-everything scans walk the order slice
+// directly). A set dimension with no postings returns an empty list with
+// ok true: nothing can match.
+func (ix *tagIndex) candidates(f Filter) (posting []int32, ok bool) {
+	consider := func(list []int32) {
+		if !ok || len(list) < len(posting) {
+			posting, ok = list, true
+		}
+	}
+	if f.Node != "" {
+		consider(ix.byNode[f.Node])
+	}
+	if f.Plugin != "" {
+		consider(ix.byPlugin[f.Plugin])
+	}
+	if f.Metric != "" {
+		consider(ix.byMetric[f.Metric])
+	}
+	if f.Core != nil {
+		consider(ix.byCore[*f.Core])
+	}
+	return posting, ok
+}

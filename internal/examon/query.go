@@ -3,6 +3,8 @@ package examon
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // The v2 query layer: server-side aggregation with step-based
@@ -10,6 +12,14 @@ import (
 // Scan/Cursor so a query never copies whole series. The dashboard heatmaps
 // (BuildHeatmap) and the anomaly detector's ScanAll run on this layer, and
 // the REST server exposes it as /api/v2/query.
+//
+// Three read-path fast layers sit under QueryAgg, each with a fallback:
+// the inverted tag index narrows which series are visited (index.go), the
+// snapshot fan-out aggregates many matched series concurrently with an
+// order-preserving merge (storage.go), and aligned coarse-step queries
+// are answered from the ingest-time rollup tiers without touching raw
+// points (rollup.go). Engines built WithLinearScan bypass all three — the
+// benchmarked ablation.
 
 // AggOp selects the per-bucket aggregation of QueryAgg.
 type AggOp string
@@ -93,10 +103,25 @@ func (a *aggAccum) value(op AggOp) float64 {
 // step over a huge time range cannot exhaust memory.
 const maxAggBuckets = 1 << 20
 
+// storageUnwrapper lets wrappers (TSDB) expose their backing engine, so
+// the snapshot fan-out and rollup fast paths survive the indirection.
+type storageUnwrapper interface{ Storage() Storage }
+
+// rollupServed counts series answered from rollup tiers instead of raw
+// points — observability for the read path, pinned by the tests.
+var rollupServed atomic.Uint64
+
 // QueryAgg runs an aggregating range query against a storage engine: the
 // filter selects series and the time range, opts select the operator and
 // the downsampling step. Matching series are returned in storage order.
 func QueryAgg(st Storage, f Filter, opts AggOptions) ([]AggSeries, error) {
+	return QueryAggInto(nil, st, f, opts)
+}
+
+// QueryAggInto is QueryAgg appending into dst, so periodic callers (the
+// power plane's control loop, dashboard pollers) can reuse one result
+// slice across queries instead of reallocating it every tick.
+func QueryAggInto(dst []AggSeries, st Storage, f Filter, opts AggOptions) ([]AggSeries, error) {
 	if st == nil {
 		return nil, fmt.Errorf("examon: nil storage")
 	}
@@ -114,7 +139,18 @@ func QueryAgg(st Storage, f Filter, opts AggOptions) ([]AggSeries, error) {
 		return nil, fmt.Errorf("examon: step %v yields more than %d buckets over [%v,%v)",
 			opts.Step, maxAggBuckets, f.From, f.To)
 	}
-	out := []AggSeries{}
+	if u, ok := st.(storageUnwrapper); ok {
+		st = u.Storage()
+	}
+	if sn, ok := st.(snapshotter); ok {
+		withRollups := rollupAligned(f, opts, sn.rollupStep())
+		if snaps, ok := sn.snapshotSeries(f, withRollups); ok {
+			return aggSnapshots(dst, snaps, f, opts)
+		}
+	}
+	// Sequential fallback: aggregate under the engine's Scan (linear-scan
+	// ablation, or an engine without lock-free snapshots).
+	out := dst
 	var aggErr error
 	var buckets []aggAccum // reused across series
 	st.Scan(f, func(tags Tags, pts PointsView) bool {
@@ -125,24 +161,131 @@ func QueryAgg(st Storage, f Filter, opts AggOptions) ([]AggSeries, error) {
 		if aggErr != nil {
 			return false
 		}
-		agg := AggSeries{Tags: tags}
-		for k := range buckets {
-			if buckets[k].n == 0 {
-				continue
-			}
-			t := f.From
-			if opts.Step > 0 {
-				t += float64(k) * opts.Step
-			}
-			agg.Points = append(agg.Points, AggPoint{T: t, V: buckets[k].value(opts.Op), N: buckets[k].n})
-		}
-		out = append(out, agg)
+		out = append(out, AggSeries{Tags: tags, Points: bucketPoints(buckets, f, opts)})
 		return true
 	})
 	if aggErr != nil {
 		return nil, aggErr
 	}
+	if out == nil {
+		out = []AggSeries{}
+	}
 	return out, nil
+}
+
+// aggSnapshots aggregates a matched-series snapshot, fanning the series
+// out across cores (parallelFor chunks) with the results merged back in
+// scan order. Each series is aggregated wholly within one goroutine, so
+// per-series results are identical to the sequential path; the snapshot's
+// order is preserved by indexed assignment.
+func aggSnapshots(dst []AggSeries, snaps []seriesSnap, f Filter, opts AggOptions) ([]AggSeries, error) {
+	res := make([]AggSeries, len(snaps))
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	parallelFor(len(snaps), func(start, end int) {
+		var buckets []aggAccum // reused across this chunk's series
+		for i := start; i < end; i++ {
+			s := snaps[i]
+			for k := range buckets {
+				buckets[k] = aggAccum{}
+			}
+			var err error
+			if s.roll != nil {
+				buckets, err = aggregateRollup(buckets, s.roll, f, opts)
+				rollupServed.Add(1)
+			} else {
+				buckets, err = aggregateView(buckets, s.pts, f, opts)
+			}
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			res[i] = AggSeries{Tags: s.tags, Points: bucketPoints(buckets, f, opts)}
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := append(dst, res...)
+	if out == nil {
+		out = []AggSeries{}
+	}
+	return out, nil
+}
+
+// bucketPoints renders populated buckets as AggPoints, sized exactly from
+// the populated-bucket count. A series with no populated buckets keeps
+// nil Points (matching the append-grown behavior).
+func bucketPoints(buckets []aggAccum, f Filter, opts AggOptions) []AggPoint {
+	populated := 0
+	for k := range buckets {
+		if buckets[k].n > 0 {
+			populated++
+		}
+	}
+	if populated == 0 {
+		return nil
+	}
+	pts := make([]AggPoint, 0, populated)
+	for k := range buckets {
+		if buckets[k].n == 0 {
+			continue
+		}
+		t := f.From
+		if opts.Step > 0 {
+			t += float64(k) * opts.Step
+		}
+		pts = append(pts, AggPoint{T: t, V: buckets[k].value(opts.Op), N: buckets[k].n})
+	}
+	return pts
+}
+
+// aggregateRollup fills buckets from one series' rollup tier instead of
+// its raw points. rollupAligned guarantees every raw point in range is
+// covered by whole in-range rollup buckets, so counts and min/max are
+// identical to the raw computation and sums regroup the same additions.
+func aggregateRollup(buckets []aggAccum, roll *rollupSnap, f Filter, opts AggOptions) ([]aggAccum, error) {
+	m := int64(opts.Step / roll.step) // exact: rollupAligned checked divisibility
+	q0 := int64(math.Floor(f.From / roll.step))
+	qEnd := int64(math.MaxInt64)
+	if f.To != 0 {
+		qEnd = int64(math.Floor(f.To / roll.step))
+	}
+	for j := range roll.buckets {
+		rb := &roll.buckets[j]
+		if rb.n == 0 {
+			continue
+		}
+		b := roll.first + int64(j)
+		if b < q0 || b >= qEnd {
+			continue
+		}
+		k64 := (b - q0) / m
+		if k64 >= maxAggBuckets {
+			return buckets, fmt.Errorf("examon: step %v yields more than %d buckets (rollup bucket at t=%v)",
+				opts.Step, maxAggBuckets, float64(b)*roll.step)
+		}
+		k := int(k64)
+		for k >= len(buckets) {
+			buckets = append(buckets, aggAccum{})
+		}
+		a := &buckets[k]
+		if a.n == 0 || rb.min < a.min {
+			a.min = rb.min
+		}
+		if a.n == 0 || rb.max > a.max {
+			a.max = rb.max
+		}
+		a.sum += rb.sum
+		a.n += rb.n
+	}
+	return buckets, nil
 }
 
 // aggregateView fills buckets from one series view, growing the bucket

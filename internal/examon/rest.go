@@ -16,9 +16,19 @@ import (
 //	GET /api/v2/query             — raw range query, plus server-side
 //	                                aggregation with agg= and step=
 //
-// v1 is frozen; v2 adds the aggregating layer (avg/min/max/sum/rate with
-// step-based downsampling) so dashboards pull bucketed values instead of
-// whole series.
+// v1's response format is frozen; v2 adds the aggregating layer
+// (avg/min/max/sum/rate with step-based downsampling) so dashboards pull
+// bucketed values instead of whole series. The one extension both raw
+// endpoints accept is the opt-in limit= guard below — a v1 query without
+// it answers exactly as it always has.
+//
+// Responses are rendered by the streaming append encoder (jsonenc.go):
+// points flow from the storage engine's buffers straight into a pooled
+// byte buffer, with no intermediate response structs and no per-request
+// allocation beyond the (recycled) buffer itself. Output stays
+// byte-identical to the former encoding/json path. Raw queries accept an
+// optional limit=N guard: a result with more than N points answers 413
+// instead of serializing unboundedly.
 type RESTServer struct {
 	st  Storage
 	mux *http.ServeMux
@@ -61,31 +71,23 @@ func (s *RESTServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// seriesResponse is the JSON shape of a raw query result.
-type seriesResponse struct {
-	Node   string       `json:"node"`
-	Plugin string       `json:"plugin"`
-	Core   int          `json:"core"`
-	Metric string       `json:"metric"`
-	Points [][2]float64 `json:"points"`
-}
-
-// aggSeriesResponse is the JSON shape of an aggregated query result; each
-// point is [bucket_start, value, sample_count].
-type aggSeriesResponse struct {
-	Node   string       `json:"node"`
-	Plugin string       `json:"plugin"`
-	Core   int          `json:"core"`
-	Metric string       `json:"metric"`
-	Points [][3]float64 `json:"points"`
-}
-
 func (s *RESTServer) handleSeries(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, map[string]any{"series": s.st.Keys()})
+	bp := jsonBufPool.Get().(*[]byte)
+	b := append((*bp)[:0], `{"series":[`...)
+	for i, k := range s.st.Keys() {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, k)
+	}
+	b = append(b, ']', '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+	putJSONBuf(bp, b)
 }
 
 // parseFilter extracts the shared node/plugin/metric/core/from/to
@@ -114,25 +116,136 @@ func parseFilter(r *http.Request) (Filter, error) {
 	return f, nil
 }
 
-func (s *RESTServer) rawSeries(f Filter) []seriesResponse {
-	// Explicit empty slices keep the JSON "series" field — and each
-	// series' "points" — an array ([]) rather than null when nothing
-	// matches the filter or the time range.
-	resp := []seriesResponse{}
-	for _, series := range s.st.Query(f) {
-		sr := seriesResponse{
-			Node:   series.Tags.Node,
-			Plugin: series.Tags.Plugin,
-			Core:   series.Tags.Core,
-			Metric: series.Tags.Metric,
-			Points: [][2]float64{},
-		}
-		for _, p := range series.Points {
-			sr.Points = append(sr.Points, [2]float64{p.T, p.V})
-		}
-		resp = append(resp, sr)
+// parseLimit reads the optional raw-query limit= guard (0 = unlimited).
+func parseLimit(r *http.Request) (int, error) {
+	s := r.URL.Query().Get("limit")
+	if s == "" {
+		return 0, nil
 	}
-	return resp
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad limit %q", s)
+	}
+	return n, nil
+}
+
+// appendSeriesOpen renders a series' tag header up to the opening of its
+// points array.
+func appendSeriesOpen(b []byte, tags Tags) []byte {
+	b = append(b, `{"node":`...)
+	b = appendJSONString(b, tags.Node)
+	b = append(b, `,"plugin":`...)
+	b = appendJSONString(b, tags.Plugin)
+	b = append(b, `,"core":`...)
+	b = strconv.AppendInt(b, int64(tags.Core), 10)
+	b = append(b, `,"metric":`...)
+	b = appendJSONString(b, tags.Metric)
+	return append(b, `,"points":[`...)
+}
+
+// writeRawQuery streams a raw range query: one indexed lookup, points
+// rendered straight from the engine's buffers through the time cursor.
+// Shared by /api/v1/query and unaggregated /api/v2/query (which answer
+// byte-identically). The render happens outside any engine lock: the
+// snapshot engines hand out stable lock-free views, everything else
+// (ring, linear-scan ablation) falls back to copying the matched points
+// out under its lock first — holding a read lock for the whole JSON
+// render would stall ingest on the single-lock engines.
+func (s *RESTServer) writeRawQuery(w http.ResponseWriter, f Filter, limit int) {
+	st := s.st
+	if u, ok := st.(storageUnwrapper); ok {
+		st = u.Storage()
+	}
+	var snaps []seriesSnap
+	haveSnaps := false
+	if sn, ok := st.(snapshotter); ok {
+		snaps, haveSnaps = sn.snapshotSeries(f, false)
+	}
+	if !haveSnaps {
+		// Bounded copy-out under the engine's Scan: the filter is applied
+		// while copying (so the cursor re-run below is a pass-through),
+		// and the copy stops at limit+1 points — the guard must bound the
+		// work on this path too, not just reject after a full copy.
+		copied, exceeded := 0, false
+		st.Scan(f, func(tags Tags, pts PointsView) bool {
+			capHint := pts.Len()
+			if limit > 0 && capHint > limit+1 {
+				capHint = limit + 1
+			}
+			if (f.From != 0 || f.To != 0) && capHint > 1024 {
+				capHint = 1024 // narrow windows must not pin full-series capacity
+			}
+			buf := make([]Point, 0, capHint)
+			cur := pts.Cursor(f.From, f.To)
+			for p, ok := cur.Next(); ok; p, ok = cur.Next() {
+				copied++
+				if limit > 0 && copied > limit {
+					exceeded = true
+					return false
+				}
+				buf = append(buf, p)
+			}
+			snaps = append(snaps, seriesSnap{tags: tags, pts: ViewOf(buf)})
+			return true
+		})
+		if exceeded {
+			http.Error(w, fmt.Sprintf("result exceeds limit=%d points", limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+	}
+	bp := jsonBufPool.Get().(*[]byte)
+	b := append((*bp)[:0], `{"series":[`...)
+	release := func() { putJSONBuf(bp, b) }
+	total := 0
+	exceeded, encOK := false, true
+	for i := range snaps {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendSeriesOpen(b, snaps[i].tags)
+		pFirst := true
+		cur := snaps[i].pts.Cursor(f.From, f.To)
+		for p, ok := cur.Next(); ok && !exceeded && encOK; p, ok = cur.Next() {
+			total++
+			if limit > 0 && total > limit {
+				exceeded = true
+				break
+			}
+			if !pFirst {
+				b = append(b, ',')
+			}
+			pFirst = false
+			b = append(b, '[')
+			b, encOK = appendJSONFloat(b, p.T)
+			if !encOK {
+				break
+			}
+			b = append(b, ',')
+			b, encOK = appendJSONFloat(b, p.V)
+			if !encOK {
+				break
+			}
+			b = append(b, ']')
+		}
+		if exceeded || !encOK {
+			break
+		}
+		b = append(b, ']', '}')
+	}
+	if exceeded {
+		release()
+		http.Error(w, fmt.Sprintf("result exceeds limit=%d points", limit), http.StatusRequestEntityTooLarge)
+		return
+	}
+	if !encOK {
+		release()
+		http.Error(w, "non-finite value in result", http.StatusInternalServerError)
+		return
+	}
+	b = append(b, ']', '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+	release()
 }
 
 func (s *RESTServer) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -145,7 +258,12 @@ func (s *RESTServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, map[string]any{"series": s.rawSeries(f)})
+	limit, err := parseLimit(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.writeRawQuery(w, f, limit)
 }
 
 func (s *RESTServer) handleQueryV2(w http.ResponseWriter, r *http.Request) {
@@ -162,7 +280,12 @@ func (s *RESTServer) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	op := q.Get("agg")
 	if op == "" {
 		// Unaggregated v2 queries answer exactly like v1.
-		writeJSON(w, map[string]any{"series": s.rawSeries(f)})
+		limit, err := parseLimit(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.writeRawQuery(w, f, limit)
 		return
 	}
 	step := 0.0
@@ -178,23 +301,48 @@ func (s *RESTServer) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp := []aggSeriesResponse{}
-	for _, series := range agg {
-		sr := aggSeriesResponse{
-			Node:   series.Tags.Node,
-			Plugin: series.Tags.Plugin,
-			Core:   series.Tags.Core,
-			Metric: series.Tags.Metric,
-			// Non-nil so a series that is silent in the range renders as
-			// "points": [], not null.
-			Points: [][3]float64{},
+	bp := jsonBufPool.Get().(*[]byte)
+	b := append((*bp)[:0], `{"agg":`...)
+	encOK := true
+	appendF := func(v float64) {
+		if !encOK {
+			return
 		}
-		for _, p := range series.Points {
-			sr.Points = append(sr.Points, [3]float64{p.T, p.V, float64(p.N)})
-		}
-		resp = append(resp, sr)
+		b, encOK = appendJSONFloat(b, v)
 	}
-	writeJSON(w, map[string]any{"series": resp, "agg": op, "step": step})
+	b = appendJSONString(b, op)
+	b = append(b, `,"series":[`...)
+	for i := range agg {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendSeriesOpen(b, agg[i].Tags)
+		for j, p := range agg[i].Points {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, '[')
+			appendF(p.T)
+			b = append(b, ',')
+			appendF(p.V)
+			b = append(b, ',')
+			appendF(float64(p.N))
+			b = append(b, ']')
+		}
+		b = append(b, ']', '}')
+	}
+	b = append(b, `],"step":`...)
+	appendF(step)
+	b = append(b, '}', '\n')
+	release := func() { putJSONBuf(bp, b) }
+	if !encOK {
+		release()
+		http.Error(w, "non-finite value in result", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+	release()
 }
 
 func parseTimeParam(s string) (float64, error) {
@@ -208,6 +356,8 @@ func parseTimeParam(s string) (float64, error) {
 	return v, nil
 }
 
+// writeJSON renders v through encoding/json — kept for the low-rate
+// endpoints serving arbitrary structures (the power plane snapshot).
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {

@@ -3,6 +3,7 @@ package examon
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -181,5 +182,220 @@ func TestQueryV2BadParameters(t *testing.T) {
 	res.Body.Close()
 	if res.StatusCode != 405 {
 		t.Errorf("POST -> %d, want 405", res.StatusCode)
+	}
+}
+
+// --- streaming encoder equivalence ---------------------------------------
+
+// oldRawResponse replicates the pre-streaming handler: response structs
+// filled from Query, rendered through encoding/json. The streaming
+// encoder must reproduce it byte for byte.
+func oldRawResponse(t *testing.T, st Storage, f Filter) string {
+	t.Helper()
+	type seriesResponse struct {
+		Node   string       `json:"node"`
+		Plugin string       `json:"plugin"`
+		Core   int          `json:"core"`
+		Metric string       `json:"metric"`
+		Points [][2]float64 `json:"points"`
+	}
+	resp := []seriesResponse{}
+	for _, series := range st.Query(f) {
+		sr := seriesResponse{
+			Node:   series.Tags.Node,
+			Plugin: series.Tags.Plugin,
+			Core:   series.Tags.Core,
+			Metric: series.Tags.Metric,
+			Points: [][2]float64{},
+		}
+		for _, p := range series.Points {
+			sr.Points = append(sr.Points, [2]float64{p.T, p.V})
+		}
+		resp = append(resp, sr)
+	}
+	body, err := json.Marshal(map[string]any{"series": resp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body) + "\n"
+}
+
+func oldAggResponse(t *testing.T, st Storage, f Filter, op string, step float64) string {
+	t.Helper()
+	type aggSeriesResponse struct {
+		Node   string       `json:"node"`
+		Plugin string       `json:"plugin"`
+		Core   int          `json:"core"`
+		Metric string       `json:"metric"`
+		Points [][3]float64 `json:"points"`
+	}
+	agg, err := QueryAgg(st, f, AggOptions{Op: AggOp(op), Step: step})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := []aggSeriesResponse{}
+	for _, series := range agg {
+		sr := aggSeriesResponse{
+			Node:   series.Tags.Node,
+			Plugin: series.Tags.Plugin,
+			Core:   series.Tags.Core,
+			Metric: series.Tags.Metric,
+			Points: [][3]float64{},
+		}
+		for _, p := range series.Points {
+			sr.Points = append(sr.Points, [3]float64{p.T, p.V, float64(p.N)})
+		}
+		resp = append(resp, sr)
+	}
+	body, err := json.Marshal(map[string]any{"series": resp, "agg": op, "step": step})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body) + "\n"
+}
+
+// TestStreamedJSONMatchesEncodingJSON pins the streaming encoder against
+// the pre-refactor encoding/json output, including float edge cases the
+// 'f'/'e' form switch must reproduce exactly.
+func TestStreamedJSONMatchesEncodingJSON(t *testing.T) {
+	st := NewMemStore()
+	weird := confTags(9, -1, "weird/metric.name")
+	for i, v := range []float64{
+		0, 1, -1, 0.5, 2.5e-7, 1e-6, 9.999999e-7, 1e21, 1.25e21, -3.75e22,
+		1e20, 123456789.123456789, -0.001, 42,
+	} {
+		st.Insert(weird, float64(i)+0.125, v)
+	}
+	ts := restFixture(t, st) // adds the standard fixture series on top
+	for _, q := range []string{
+		"?",
+		"?node=mc09",
+		"?metric=instret&from=2&to=6",
+		"?node=mc99",
+	} {
+		want := oldRawResponse(t, st, mustFilter(t, q))
+		for _, path := range []string{"/api/v1/query", "/api/v2/query"} {
+			code, body := get(t, ts, path+q)
+			if code != 200 {
+				t.Fatalf("%s%s -> %d", path, q, code)
+			}
+			if body != want {
+				t.Errorf("%s%s streamed body diverges from encoding/json:\ngot:  %s\nwant: %s", path, q, body, want)
+			}
+		}
+	}
+	for _, tc := range []struct {
+		query string
+		f     Filter
+		op    string
+		step  float64
+	}{
+		{"/api/v2/query?node=mc09&agg=avg&step=4", Filter{Node: "mc09"}, "avg", 4},
+		{"/api/v2/query?agg=max", Filter{}, "max", 0},
+		{"/api/v2/query?node=mc02&metric=instret&core=0&agg=rate&from=1&to=8",
+			Filter{Node: "mc02", Metric: "instret", Core: intPtr(0), From: 1, To: 8}, "rate", 0},
+	} {
+		want := oldAggResponse(t, st, tc.f, tc.op, tc.step)
+		code, body := get(t, ts, tc.query)
+		if code != 200 {
+			t.Fatalf("%s -> %d", tc.query, code)
+		}
+		if body != want {
+			t.Errorf("%s streamed agg body diverges:\ngot:  %s\nwant: %s", tc.query, body, want)
+		}
+	}
+	// /api/v1/series too.
+	keys, err := json.Marshal(map[string]any{"series": st.Keys()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get(t, ts, "/api/v1/series"); code != 200 || body != string(keys)+"\n" {
+		t.Errorf("series body diverges:\ngot:  %s\nwant: %s", body, keys)
+	}
+}
+
+// mustFilter parses a fixture query string through the production parser.
+func mustFilter(t *testing.T, rawQuery string) Filter {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/api/v1/query"+rawQuery, nil)
+	f, err := parseFilter(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestQueryLimitGuard pins the optional raw-query limit: under the cap
+// the response is identical to the unlimited one, over it the server
+// refuses with 413 instead of serializing unboundedly — on the snapshot
+// engines and on the bounded copy-out fallback (ring, linear-scan).
+func TestQueryLimitGuard(t *testing.T) {
+	for name, mk := range map[string]func() Storage{
+		"mem":        func() Storage { return NewMemStore() },
+		"ring":       func() Storage { return NewRingStore(1 << 12) },
+		"mem-linear": func() Storage { return NewMemStore(WithLinearScan(true)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			ts := restFixture(t, mk())
+			_, unlimited := get(t, ts, "/api/v1/query?node=mc01")
+			for _, path := range []string{"/api/v1/query", "/api/v2/query"} {
+				if code, body := get(t, ts, path+"?node=mc01&limit=1000"); code != 200 || body != unlimited {
+					t.Errorf("%s under-limit response diverges (code %d)", path, code)
+				}
+				if code, _ := get(t, ts, path+"?node=mc01&limit=5"); code != 413 {
+					t.Errorf("%s over-limit -> %d, want 413", path, code)
+				}
+				for _, bad := range []string{"x", "-1", "1.5"} {
+					if code, _ := get(t, ts, path+"?node=mc01&limit="+bad); code != 400 {
+						t.Errorf("%s limit=%s -> %d, want 400", path, bad, code)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestJSONFloatEncoding sweeps the append encoder against json.Marshal on
+// generated floats, including the e-form exponent-trim path.
+func TestJSONFloatEncoding(t *testing.T) {
+	vals := []float64{
+		0, 1, -1, 0.1, -0.25, 1e-6, 1e-7, 9.999999e-7, 1e21, 1e22, -1e21,
+		5e-324, 1.7976931348623157e308, 123.456, 1e20, 3.14159265358979,
+	}
+	for i := 1; i < 40; i++ {
+		vals = append(vals, 1.0/float64(i), float64(i)*1e19, float64(i)*1e-8)
+	}
+	for _, v := range vals {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := appendJSONFloat(nil, v)
+		if !ok || string(got) != string(want) {
+			t.Errorf("appendJSONFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if _, ok := appendJSONFloat(nil, math.NaN()); ok {
+		t.Error("NaN encoded")
+	}
+	if _, ok := appendJSONFloat(nil, math.Inf(1)); ok {
+		t.Error("Inf encoded")
+	}
+}
+
+// TestJSONStringEncoding pins the escape fallback against json.Marshal.
+func TestJSONStringEncoding(t *testing.T) {
+	for _, s := range []string{
+		"", "mc01", "temperature.cpu_temp", "a/b", "with space",
+		`quote"inside`, `back\slash`, "tab\there", "html<&>", "unicode-°C-日本",
+		"ctrl\x01", " sep",
+	} {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONString(nil, s); string(got) != string(want) {
+			t.Errorf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
 	}
 }

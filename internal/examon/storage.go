@@ -2,6 +2,7 @@ package examon
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,13 @@ import (
 //     memory, retains the most recent points (count-based retention).
 //   - ShardedStore ("sharded"): node-hashed shards over append storage —
 //     concurrent ingest from many nodes without a global write lock.
+//
+// Every engine maintains an inverted tag index (index.go) so selective
+// scans visit only candidate series, and the append-only engines (mem,
+// sharded) additionally keep ingest-time rollup tiers (rollup.go) that
+// answer aligned coarse-step aggregations without touching raw points.
+// WithLinearScan reinstates the full linear walk as the benchmarked
+// read-path ablation; WithRollup tunes or disables the tiers.
 //
 // Contract shared by all engines (exercised by the conformance suite in
 // storage_conformance_test.go):
@@ -83,33 +91,168 @@ const (
 	DefaultShards = 16
 )
 
+// storeConfig carries the tunables shared by every engine.
+type storeConfig struct {
+	linear     bool
+	rollupStep float64 // <= 0 disables the rollup tier
+}
+
+func defaultStoreConfig() storeConfig {
+	return storeConfig{rollupStep: DefaultRollupStep}
+}
+
+func (c storeConfig) apply(opts []StoreOption) storeConfig {
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// StoreOption tunes a storage engine at construction.
+type StoreOption func(*storeConfig)
+
+// WithLinearScan reinstates the seed's full linear series walk for every
+// read (no inverted-index candidate selection, no lock-free snapshot
+// fan-out) — the benchmarked read-path ablation, mirroring
+// sched.WithLinearScan.
+func WithLinearScan(linear bool) StoreOption {
+	return func(c *storeConfig) { c.linear = linear }
+}
+
+// WithRollup sets the ingest-time rollup tier's bucket width in seconds;
+// step <= 0 disables the tiers. The default is DefaultRollupStep. The
+// ring engine never keeps tiers (eviction cannot be folded back out of
+// min/max buckets) and ignores this option.
+func WithRollup(step float64) StoreOption {
+	return func(c *storeConfig) { c.rollupStep = step }
+}
+
 // NewStorage builds a storage engine by backend name ("" selects "mem").
-func NewStorage(backend string) (Storage, error) {
+func NewStorage(backend string, opts ...StoreOption) (Storage, error) {
 	switch backend {
 	case "", "mem":
-		return NewMemStore(), nil
+		return NewMemStore(opts...), nil
 	case "ring":
-		return NewRingStore(DefaultRingCapacity), nil
+		return NewRingStore(DefaultRingCapacity, opts...), nil
 	case "sharded":
-		return NewShardedStore(DefaultShards), nil
+		return NewShardedStore(DefaultShards, opts...), nil
 	}
 	return nil, fmt.Errorf("examon: unknown storage backend %q (have %v)", backend, StorageBackends())
 }
 
 // queryStorage implements the copying Query in terms of Scan, shared by
-// every engine.
+// every engine. Copies are sized up front from PointsView.Len instead of
+// being grown one append at a time; a series with no in-range points
+// keeps nil Points (seed semantics).
 func queryStorage(st Storage, f Filter) []Series {
 	var out []Series
 	st.Scan(f, func(tags Tags, pts PointsView) bool {
 		cp := Series{Tags: tags}
-		cur := pts.Cursor(f.From, f.To)
-		for p, ok := cur.Next(); ok; p, ok = cur.Next() {
-			cp.Points = append(cp.Points, p)
+		if n := pts.Len(); n > 0 {
+			// Always filter through the cursor — even a zero From excludes
+			// negative timestamps (seed semantics) — with the copy sized
+			// up front from the view length. Time-windowed queries cap the
+			// hint: a narrow window over a long series must not retain a
+			// full-series-sized backing array for a handful of points.
+			capHint := n
+			if (f.From != 0 || f.To != 0) && capHint > 1024 {
+				capHint = 1024
+			}
+			buf := make([]Point, 0, capHint)
+			cur := pts.Cursor(f.From, f.To)
+			for p, ok := cur.Next(); ok; p, ok = cur.Next() {
+				buf = append(buf, p)
+			}
+			if len(buf) > 0 {
+				cp.Points = buf
+			}
 		}
 		out = append(out, cp)
 		return true
 	})
 	return out
+}
+
+// lockedSeriesCount is the shared SeriesCount of the single-lock engines
+// (the sharded store sums its shards with the same O(1) map length).
+func lockedSeriesCount[T any](mu *sync.RWMutex, series map[seriesID]T) int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return len(series)
+}
+
+// keysOfStorage implements Keys in terms of Scan, shared by every engine.
+func keysOfStorage(st Storage) []string {
+	out := make([]string, 0, 16)
+	st.Scan(Filter{}, func(tags Tags, _ PointsView) bool {
+		out = append(out, seriesKey(tags))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// --- read fan-out --------------------------------------------------------
+
+// seriesSnap is one matched series captured as a stable view that remains
+// valid after the engine's lock is released: the append-only engines copy
+// the slice header under the read lock (the prefix it describes is
+// immutable), and the rollup tier — which mutates buckets in place — is
+// copied for the query's range.
+type seriesSnap struct {
+	seq  uint64 // creation sequence, for the sharded cross-shard merge
+	tags Tags
+	pts  PointsView
+	roll *rollupSnap // non-nil only when requested and maintained
+}
+
+// snapshotter is implemented by engines whose matched series can be
+// captured as lock-free snapshots and visited concurrently (mem,
+// sharded). The aggregating query layer fans the snapshot out across
+// cores with an order-preserving merge. ok is false when the engine wants
+// the plain sequential Scan instead (linear-scan ablation).
+type snapshotter interface {
+	snapshotSeries(f Filter, withRollups bool) (snaps []seriesSnap, ok bool)
+	rollupStep() float64
+}
+
+// Read fan-out sizing: below minParallelSeries the goroutine handoff
+// costs more than the aggregation; maxReadWorkers caps one query's share
+// of the host.
+const (
+	minParallelSeries = 8
+	maxReadWorkers    = 16
+)
+
+// parallelFor splits [0, n) into contiguous chunks across up to
+// maxReadWorkers goroutines and runs body on each chunk; small inputs run
+// inline. body must be safe for concurrent use.
+func parallelFor(n int, body func(start, end int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > maxReadWorkers {
+		workers = maxReadWorkers
+	}
+	if n < minParallelSeries || workers <= 1 {
+		body(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			body(s, e)
+		}(start, end)
+	}
+	wg.Wait()
 }
 
 // --- MemStore -----------------------------------------------------------
@@ -118,19 +261,26 @@ func queryStorage(st Storage, f Filter) []Series {
 type memSeries struct {
 	tags Tags
 	pts  []Point
+	roll *seriesRollup // nil when rollups are disabled
 }
 
 // MemStore is the unbounded in-memory append engine (the seed TSDB's
 // storage, extracted behind the Storage interface).
 type MemStore struct {
+	cfg    storeConfig
 	mu     sync.RWMutex
 	series map[seriesID]*memSeries
 	order  []*memSeries
+	index  *tagIndex
 }
 
 // NewMemStore returns an empty append store.
-func NewMemStore() *MemStore {
-	return &MemStore{series: make(map[seriesID]*memSeries)}
+func NewMemStore(opts ...StoreOption) *MemStore {
+	return &MemStore{
+		cfg:    defaultStoreConfig().apply(opts),
+		series: make(map[seriesID]*memSeries),
+		index:  newTagIndex(),
+	}
 }
 
 // Insert stores one sample.
@@ -157,10 +307,26 @@ func (st *MemStore) insertLocked(tags Tags, t, v float64) {
 	s, ok := st.series[id]
 	if !ok {
 		s = &memSeries{tags: tags}
+		if st.cfg.rollupStep > 0 {
+			s.roll = newSeriesRollup(st.cfg.rollupStep)
+		}
+		st.index.add(len(st.order), tags)
 		st.series[id] = s
 		st.order = append(st.order, s)
 	}
 	s.pts = append(s.pts, Point{T: t, V: v})
+	if s.roll != nil {
+		s.roll.add(t, v)
+	}
+}
+
+// lookup consults the inverted index, unless the engine runs in the
+// linear-scan ablation or the filter has no indexed dimension.
+func (st *MemStore) lookup(f Filter) ([]int32, bool) {
+	if st.cfg.linear {
+		return nil, false
+	}
+	return st.index.candidates(f)
 }
 
 // Query returns copies of the matching series.
@@ -170,6 +336,18 @@ func (st *MemStore) Query(f Filter) []Series { return queryStorage(st, f) }
 func (st *MemStore) Scan(f Filter, visit func(tags Tags, pts PointsView) bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	if cand, ok := st.lookup(f); ok {
+		for _, pos := range cand {
+			s := st.order[pos]
+			if !f.matches(s.tags) {
+				continue
+			}
+			if !visit(s.tags, PointsView{a: s.pts}) {
+				return
+			}
+		}
+		return
+	}
 	for _, s := range st.order {
 		if !f.matches(s.tags) {
 			continue
@@ -180,24 +358,46 @@ func (st *MemStore) Scan(f Filter, visit func(tags Tags, pts PointsView) bool) {
 	}
 }
 
-// SeriesCount returns the number of stored series.
-func (st *MemStore) SeriesCount() int {
+// snapshotSeries captures the matching series for the concurrent read
+// fan-out. The store is append-only, so a slice header copied under the
+// read lock describes an immutable prefix and stays valid after the lock
+// is released.
+func (st *MemStore) snapshotSeries(f Filter, withRollups bool) ([]seriesSnap, bool) {
+	if st.cfg.linear {
+		return nil, false
+	}
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return len(st.series)
+	var snaps []seriesSnap
+	add := func(s *memSeries) {
+		if !f.matches(s.tags) {
+			return
+		}
+		snap := seriesSnap{tags: s.tags, pts: PointsView{a: s.pts}}
+		if withRollups {
+			snap.roll = s.roll.snapshotRange(f.From, f.To)
+		}
+		snaps = append(snaps, snap)
+	}
+	if cand, ok := st.lookup(f); ok {
+		for _, pos := range cand {
+			add(st.order[pos])
+		}
+	} else {
+		for _, s := range st.order {
+			add(s)
+		}
+	}
+	return snaps, true
 }
 
+func (st *MemStore) rollupStep() float64 { return st.cfg.rollupStep }
+
+// SeriesCount returns the number of stored series.
+func (st *MemStore) SeriesCount() int { return lockedSeriesCount(&st.mu, st.series) }
+
 // Keys lists all series keys, sorted.
-func (st *MemStore) Keys() []string {
-	st.mu.RLock()
-	out := make([]string, 0, len(st.order))
-	for _, s := range st.order {
-		out = append(out, seriesKey(s.tags))
-	}
-	st.mu.RUnlock()
-	sort.Strings(out)
-	return out
-}
+func (st *MemStore) Keys() []string { return keysOfStorage(st) }
 
 // --- RingStore ----------------------------------------------------------
 
@@ -220,21 +420,31 @@ func (s *ringSeries) view() PointsView {
 // RingStore is the bounded retention engine: each series keeps the most
 // recent Capacity points in a ring buffer, so memory stays constant over
 // arbitrarily long runs (count-based retention; at a fixed sampling rate
-// that is equivalent to a time window).
+// that is equivalent to a time window). Eviction overwrites points in
+// place, so the ring keeps no rollup tier and offers no lock-free
+// snapshots — reads run under the read lock, candidate-selected through
+// the inverted index.
 type RingStore struct {
+	cfg      storeConfig
 	capacity int
 	mu       sync.RWMutex
 	series   map[seriesID]*ringSeries
 	order    []*ringSeries
+	index    *tagIndex
 }
 
 // NewRingStore returns an empty ring store holding up to capacity points
 // per series (capacity <= 0 selects DefaultRingCapacity).
-func NewRingStore(capacity int) *RingStore {
+func NewRingStore(capacity int, opts ...StoreOption) *RingStore {
 	if capacity <= 0 {
 		capacity = DefaultRingCapacity
 	}
-	return &RingStore{capacity: capacity, series: make(map[seriesID]*ringSeries)}
+	return &RingStore{
+		cfg:      defaultStoreConfig().apply(opts),
+		capacity: capacity,
+		series:   make(map[seriesID]*ringSeries),
+		index:    newTagIndex(),
+	}
 }
 
 // Capacity returns the per-series point bound.
@@ -264,6 +474,7 @@ func (st *RingStore) insertLocked(tags Tags, t, v float64) {
 	s, ok := st.series[id]
 	if !ok {
 		s = &ringSeries{tags: tags}
+		st.index.add(len(st.order), tags)
 		st.series[id] = s
 		st.order = append(st.order, s)
 	}
@@ -289,6 +500,20 @@ func (st *RingStore) Query(f Filter) []Series { return queryStorage(st, f) }
 func (st *RingStore) Scan(f Filter, visit func(tags Tags, pts PointsView) bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	if !st.cfg.linear {
+		if cand, ok := st.index.candidates(f); ok {
+			for _, pos := range cand {
+				s := st.order[pos]
+				if !f.matches(s.tags) {
+					continue
+				}
+				if !visit(s.tags, s.view()) {
+					return
+				}
+			}
+			return
+		}
+	}
 	for _, s := range st.order {
 		if !f.matches(s.tags) {
 			continue
@@ -300,23 +525,10 @@ func (st *RingStore) Scan(f Filter, visit func(tags Tags, pts PointsView) bool) 
 }
 
 // SeriesCount returns the number of stored series.
-func (st *RingStore) SeriesCount() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.series)
-}
+func (st *RingStore) SeriesCount() int { return lockedSeriesCount(&st.mu, st.series) }
 
 // Keys lists all series keys, sorted.
-func (st *RingStore) Keys() []string {
-	st.mu.RLock()
-	out := make([]string, 0, len(st.order))
-	for _, s := range st.order {
-		out = append(out, seriesKey(s.tags))
-	}
-	st.mu.RUnlock()
-	sort.Strings(out)
-	return out
-}
+func (st *RingStore) Keys() []string { return keysOfStorage(st) }
 
 // --- ShardedStore -------------------------------------------------------
 
@@ -326,31 +538,34 @@ type shardSeries struct {
 	seq  uint64
 	tags Tags
 	pts  []Point
+	roll *seriesRollup // nil when rollups are disabled
 }
 
 type storeShard struct {
 	mu     sync.RWMutex
 	series map[seriesID]*shardSeries
 	order  []*shardSeries
+	index  *tagIndex
 }
 
 // ShardedStore spreads series across shards keyed by the node tag, so
 // per-node ingest streams (the deployment has one publisher per node)
 // contend only within their shard instead of on a global mutex.
 type ShardedStore struct {
+	cfg    storeConfig
 	seq    atomic.Uint64
 	shards []*storeShard
 }
 
 // NewShardedStore returns an empty store with the given shard count
 // (shards <= 0 selects DefaultShards).
-func NewShardedStore(shards int) *ShardedStore {
+func NewShardedStore(shards int, opts ...StoreOption) *ShardedStore {
 	if shards <= 0 {
 		shards = DefaultShards
 	}
-	st := &ShardedStore{shards: make([]*storeShard, shards)}
+	st := &ShardedStore{cfg: defaultStoreConfig().apply(opts), shards: make([]*storeShard, shards)}
 	for i := range st.shards {
-		st.shards[i] = &storeShard{series: make(map[seriesID]*shardSeries)}
+		st.shards[i] = &storeShard{series: make(map[seriesID]*shardSeries), index: newTagIndex()}
 	}
 	return st
 }
@@ -411,71 +626,123 @@ func (st *ShardedStore) insertLocked(sh *storeShard, tags Tags, t, v float64) {
 	s, ok := sh.series[id]
 	if !ok {
 		s = &shardSeries{seq: st.seq.Add(1), tags: tags}
+		if st.cfg.rollupStep > 0 {
+			s.roll = newSeriesRollup(st.cfg.rollupStep)
+		}
+		sh.index.add(len(sh.order), tags)
 		sh.series[id] = s
 		sh.order = append(sh.order, s)
 	}
 	s.pts = append(s.pts, Point{T: t, V: v})
+	if s.roll != nil {
+		s.roll.add(t, v)
+	}
 }
 
 // Query returns copies of the matching series.
 func (st *ShardedStore) Query(f Filter) []Series { return queryStorage(st, f) }
 
-// scanSnapshot is one matched series captured outside the shard locks.
-// Shard storage is append-only, so a slice header copied under the read
-// lock is a consistent immutable prefix of the series — the visit can then
-// run without holding any lock, and ingest proceeds concurrently.
-type scanSnapshot struct {
-	seq  uint64
-	tags Tags
-	pts  []Point
-}
-
-// Scan visits matching series ordered by series creation sequence so
-// results are deterministic across shards. Unlike the single-lock engines,
-// the sharded store visits a point-in-time snapshot: each shard's read
-// lock is held only long enough to copy the matching series' slice
-// headers (a node filter touches exactly one shard), never while the
-// visit callback computes, so long aggregations do not stall ingest.
-func (st *ShardedStore) Scan(f Filter, visit func(tags Tags, pts PointsView) bool) {
-	var matched []scanSnapshot
-	snap := func(sh *storeShard) {
+// snapshot collects the matching series across shards as stable lock-free
+// views (shard storage is append-only, so a slice header copied under the
+// read lock is a consistent immutable prefix), ordered by creation
+// sequence so results are deterministic across shards. A node filter
+// touches exactly one shard; otherwise the shards are snapshotted
+// concurrently and merged. Each shard's read lock is held only long
+// enough to copy slice headers (and, when requested, the in-range rollup
+// buckets), never while a visit computes, so long aggregations do not
+// stall ingest.
+func (st *ShardedStore) snapshot(f Filter, withRollups bool) []seriesSnap {
+	collect := func(sh *storeShard) []seriesSnap {
+		var out []seriesSnap
+		add := func(s *shardSeries) {
+			if !f.matches(s.tags) {
+				return
+			}
+			snap := seriesSnap{seq: s.seq, tags: s.tags, pts: PointsView{a: s.pts}}
+			if withRollups {
+				snap.roll = s.roll.snapshotRange(f.From, f.To)
+			}
+			out = append(out, snap)
+		}
 		sh.mu.RLock()
-		for _, s := range sh.order {
-			if f.matches(s.tags) {
-				matched = append(matched, scanSnapshot{seq: s.seq, tags: s.tags, pts: s.pts})
+		if !st.cfg.linear {
+			if cand, ok := sh.index.candidates(f); ok {
+				for _, pos := range cand {
+					add(sh.order[pos])
+				}
+				sh.mu.RUnlock()
+				return out
 			}
 		}
+		for _, s := range sh.order {
+			add(s)
+		}
 		sh.mu.RUnlock()
+		return out
 	}
 	if f.Node != "" {
-		snap(st.shardFor(f.Node))
-	} else {
-		for _, sh := range st.shards {
-			snap(sh)
-		}
-		sort.Slice(matched, func(i, j int) bool { return matched[i].seq < matched[j].seq })
+		return collect(st.shardFor(f.Node))
 	}
-	for _, s := range matched {
-		if !visit(s.tags, PointsView{a: s.pts}) {
+	parts := make([][]seriesSnap, len(st.shards))
+	if !st.cfg.linear && runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		for i, sh := range st.shards {
+			wg.Add(1)
+			go func(i int, sh *storeShard) {
+				defer wg.Done()
+				parts[i] = collect(sh)
+			}(i, sh)
+		}
+		wg.Wait()
+	} else {
+		for i, sh := range st.shards {
+			parts[i] = collect(sh)
+		}
+	}
+	var matched []seriesSnap
+	for _, p := range parts {
+		matched = append(matched, p...)
+	}
+	sort.Slice(matched, func(i, j int) bool { return matched[i].seq < matched[j].seq })
+	return matched
+}
+
+// Scan visits matching series over a point-in-time snapshot; see snapshot
+// for the locking and ordering guarantees.
+func (st *ShardedStore) Scan(f Filter, visit func(tags Tags, pts PointsView) bool) {
+	for _, s := range st.snapshot(f, false) {
+		if !visit(s.tags, s.pts) {
 			return
 		}
 	}
 }
 
+// snapshotSeries exposes the snapshot to the concurrent read fan-out.
+func (st *ShardedStore) snapshotSeries(f Filter, withRollups bool) ([]seriesSnap, bool) {
+	if st.cfg.linear {
+		return nil, false
+	}
+	return st.snapshot(f, withRollups), true
+}
+
+func (st *ShardedStore) rollupStep() float64 { return st.cfg.rollupStep }
+
 // SeriesCount returns the number of stored series.
 func (st *ShardedStore) SeriesCount() int {
 	n := 0
 	for _, sh := range st.shards {
-		sh.mu.RLock()
-		n += len(sh.series)
-		sh.mu.RUnlock()
+		n += lockedSeriesCount(&sh.mu, sh.series)
 	}
 	return n
 }
 
-// Keys lists all series keys, sorted.
+// Keys lists all series keys, sorted. Unlike the single-lock engines it
+// does not share keysOfStorage: routing through Scan would materialize a
+// full cross-shard snapshot (and seq-sort it) just to list strings, so it
+// walks the shard order slices directly — the final sort makes the
+// cross-shard visit order irrelevant.
 func (st *ShardedStore) Keys() []string {
-	var out []string
+	out := make([]string, 0, 16)
 	for _, sh := range st.shards {
 		sh.mu.RLock()
 		for _, s := range sh.order {

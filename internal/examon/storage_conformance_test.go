@@ -29,6 +29,13 @@ func conformanceEngines() map[string]func() Storage {
 			}
 			return db
 		},
+		// The read-path ablations must satisfy the same contract: the
+		// linear variants take the seed's full-walk scan on every read,
+		// the norollup variants keep the index but serve every
+		// aggregation from raw points.
+		"mem-linear":     func() Storage { return NewMemStore(WithLinearScan(true)) },
+		"sharded-linear": func() Storage { return NewShardedStore(4, WithLinearScan(true)) },
+		"mem-norollup":   func() Storage { return NewMemStore(WithRollup(-1)) },
 	}
 }
 

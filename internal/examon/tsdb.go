@@ -32,8 +32,10 @@ func seriesKey(t Tags) string {
 // delegated to a pluggable Storage engine — NewTSDB uses the in-memory
 // append engine, NewTSDBOn accepts any engine — and TSDB itself implements
 // Storage, so the query layers (QueryAgg, BuildHeatmap, Detector.ScanAll,
-// RESTServer) accept either a TSDB or a bare engine. Safe for concurrent
-// use.
+// RESTServer) accept either a TSDB or a bare engine. The aggregating
+// layers unwrap the TSDB through Storage(), so the engine's fast read
+// paths (inverted index, snapshot fan-out, rollup tiers) work through the
+// wrapper. Safe for concurrent use.
 type TSDB struct {
 	store Storage
 }

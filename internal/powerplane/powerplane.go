@@ -82,6 +82,7 @@ type Governor struct {
 	batch   []examon.Sample
 	perNode map[string]float64 // scratch: measured draw per host, watts
 	caps    map[string]float64 // last distributed caps, watts
+	aggRes  []examon.AggSeries // scratch: reused measurement query result
 }
 
 // New builds a governor over the cluster. store is the telemetry database
@@ -198,19 +199,24 @@ func (g *Governor) control(now float64) {
 
 // measure refreshes the per-node draw from the telemetry database: an
 // aggregating v2 query averaging each node's power_pub board total over
-// the last 1.5 control windows. Nodes with no samples in the window yet
-// (plane enabled without monitoring, or right after boot) fall back to an
-// instantaneous model read so the budget never flies blind.
+// the last 1.5 control windows. The plugin+metric filter rides the
+// storage engines' inverted tag index, so each control tick touches only
+// the power_pub rail series instead of scanning the whole database, and
+// the result slice is reused across ticks (QueryAggInto). Nodes with no
+// samples in the window yet (plane enabled without monitoring, or right
+// after boot) fall back to an instantaneous model read so the budget
+// never flies blind.
 func (g *Governor) measure(now float64) {
 	for h := range g.perNode {
 		delete(g.perNode, h)
 	}
-	series, err := examon.QueryAgg(g.store, examon.Filter{
+	series, err := examon.QueryAggInto(g.aggRes[:0], g.store, examon.Filter{
 		Plugin: "power_pub",
 		Metric: examon.PowerTotalMetric,
 		From:   now - 1.5*g.cfg.Period,
 	}, examon.AggOptions{Op: examon.AggAvg})
 	if err == nil {
+		g.aggRes = series
 		for _, s := range series {
 			if len(s.Points) > 0 {
 				g.perNode[s.Tags.Node] = s.Points[len(s.Points)-1].V / 1000
