@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"montecimone/internal/campaign"
 	"montecimone/internal/cluster"
 	"montecimone/internal/core"
 	"montecimone/internal/examon"
@@ -679,6 +680,55 @@ func BenchmarkTelemetryIngest(b *testing.B) {
 	b.Run("typed/sharded/64nodes", func(b *testing.B) { runTyped(b, examon.NewShardedStore(0), 1) })
 	b.Run("typed/sharded/parallel8/64nodes", func(b *testing.B) { runTyped(b, examon.NewShardedStore(0), 8) })
 	b.Run("typed/ring/64nodes", func(b *testing.B) { runTyped(b, examon.NewRingStore(0), 1) })
+}
+
+// BenchmarkCampaignThroughput drives generated mixed-workload campaigns
+// through the full stack — seeded Poisson job stream over the workload
+// registry, scheduler, cluster physics, phased workload execution — at 64
+// and 512 nodes, reporting drained jobs per wall-clock second. Each
+// iteration submits 2 jobs per node (~70 % HPL node-seconds) and must
+// drain them all within the horizon. The "fixed" cases run the
+// fixed-activity ablation: jobs hold their steady Table VI profile, no
+// phase-transition events — the baseline that prices the phased
+// co-simulation.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	mkSpec := func(nodes int, fixed bool) campaign.Spec {
+		return campaign.Spec{
+			Name: "bench", Nodes: nodes, Seed: 1, HorizonS: 40000,
+			Mitigated: true, FixedActivity: fixed,
+			Arrival: &campaign.Arrival{
+				Process: campaign.ProcessPoisson, RatePerHour: float64(nodes) * 30, Jobs: 2 * nodes,
+			},
+			Mix: []campaign.MixEntry{
+				{Workload: "hpl", Weight: 3, NodesMin: 2, NodesMax: 8, DurationS: 600},
+				{Workload: "stream.ddr", Weight: 2, NodesMin: 1, NodesMax: 2, DurationS: 180},
+				{Workload: "stream.l2", Weight: 1, DurationS: 180},
+				{Workload: "qe", Weight: 2, DurationS: 40},
+			},
+		}
+	}
+	for _, nodes := range []int{64, 512} {
+		for _, mode := range []struct {
+			name  string
+			fixed bool
+		}{{"phased", false}, {"fixed", true}} {
+			mode := mode
+			b.Run(fmt.Sprintf("%s/%dnodes", mode.name, nodes), func(b *testing.B) {
+				jobs := 0
+				for i := 0; i < b.N; i++ {
+					res, err := campaign.Run(mkSpec(nodes, mode.fixed))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Unfinished > 0 {
+						b.Fatalf("%d jobs unfinished at the horizon", res.Unfinished)
+					}
+					jobs += len(res.Jobs)
+				}
+				b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
+			})
+		}
+	}
 }
 
 // BenchmarkAblation_Airflow sweeps the enclosure configurations: steady

@@ -29,13 +29,14 @@ import (
 
 	"montecimone/internal/core"
 	"montecimone/internal/examon"
-	"montecimone/internal/power"
 	"montecimone/internal/report"
+	"montecimone/internal/workload"
 )
 
 func main() {
 	nodes := flag.Int("nodes", 8, "compute nodes")
-	workload := flag.String("workload", "hpl", "workload to monitor (hpl, stream.ddr, stream.l2, qe, idle)")
+	workloadName := flag.String("workload", "hpl",
+		"workload model to monitor ("+strings.Join(workload.Names(), ", ")+")")
 	duration := flag.Float64("duration", 120, "virtual seconds to monitor")
 	backend := flag.String("backend", "mem",
 		"ExaMon storage engine ("+strings.Join(examon.StorageBackends(), ", ")+")")
@@ -46,13 +47,13 @@ func main() {
 	rollupStep := flag.Float64("rollup-step", examon.DefaultRollupStep,
 		"ingest-time rollup bucket width in seconds (0 disables the rollup tiers)")
 	flag.Parse()
-	if err := run(os.Stdout, *nodes, *workload, *duration, *backend, *serve, *budgetW, *linearScan, *rollupStep); err != nil {
+	if err := run(os.Stdout, *nodes, *workloadName, *duration, *backend, *serve, *budgetW, *linearScan, *rollupStep); err != nil {
 		fmt.Fprintln(os.Stderr, "mcmon:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, nodes int, workload string, duration float64, backend, serve string, budgetW float64, linearScan bool, rollupStep float64) error {
+func run(w io.Writer, nodes int, workloadName string, duration float64, backend, serve string, budgetW float64, linearScan bool, rollupStep float64) error {
 	if backend == "" {
 		backend = "mem" // examon.NewStorage's default, named for the summary line
 	}
@@ -70,12 +71,12 @@ func run(w io.Writer, nodes int, workload string, duration float64, backend, ser
 		return err
 	}
 	hosts := s.Cluster.Hostnames()
-	if workload != "idle" {
-		act, mem, err := activity(workload)
-		if err != nil {
-			return err
-		}
-		if err := s.Cluster.RunWorkloadOn(hosts, workload, act, mem); err != nil {
+	model, err := workload.Lookup(workloadName)
+	if err != nil {
+		return err
+	}
+	if model.Name != "idle" {
+		if err := s.Cluster.RunWorkloadOn(hosts, model.Name, model.Steady, model.MemBytes); err != nil {
 			return err
 		}
 	}
@@ -85,7 +86,7 @@ func run(w io.Writer, nodes int, workload string, duration float64, backend, ser
 	}
 	end := s.Engine.Now()
 
-	fmt.Fprintf(w, "monitored %d nodes for %.0f virtual seconds under %q\n", nodes, duration, workload)
+	fmt.Fprintf(w, "monitored %d nodes for %.0f virtual seconds under %q\n", nodes, duration, model.Name)
 	readPath := "indexed reads"
 	if linearScan {
 		readPath = "linear-scan reads"
@@ -139,17 +140,3 @@ func run(w io.Writer, nodes int, workload string, duration float64, backend, ser
 	return http.ListenAndServe(serve, srv)
 }
 
-func activity(name string) (power.Activity, float64, error) {
-	act, ok := power.ClassActivity(name)
-	if !ok || name == "idle" {
-		return power.Activity{}, 0, fmt.Errorf("unknown workload %q", name)
-	}
-	switch name {
-	case "hpl":
-		return act, 13.3e9, nil
-	case "stream.ddr", "stream.l2":
-		return act, 2.1e9, nil
-	default: // qe
-		return act, 0.4e9, nil
-	}
-}

@@ -1,20 +1,25 @@
 // Command mcsched demonstrates the SLURM-like batch scheduler on the
-// simulated cluster: it boots the machine, submits a mixed benchmark
-// campaign (HPL, STREAM, QE-LAX) and prints squeue/sinfo snapshots and the
-// final accounting, including the NODE_FAIL the node-7 thermal hazard
-// produces when the campaign runs with the original enclosure.
+// simulated cluster. By default it runs the demo benchmark campaign (HPL,
+// STREAM, QE-LAX) and prints squeue/sinfo snapshots and the final
+// accounting, including the NODE_FAIL the node-7 thermal hazard produces
+// when the campaign runs with the original enclosure. With -campaign it
+// instead executes a declarative JSON campaign spec — workload mix,
+// arrival process, node count, seed — end to end through the scheduler,
+// the cluster physics, the power plane and the telemetry stack, and
+// prints the per-campaign report (add -events for the event log).
 //
 // Usage:
 //
 //	mcsched [-nodes N] [-mitigated] [-policy fifo|easy|sjf|bestfit|powercap]
-//	        [-budget-w W]
+//	        [-budget-w W] [-campaign spec.json] [-events]
 //
 // Node counts beyond the paper's eight-slot enclosure run with synthetic
 // slots (thermal environments reuse the physical slots cyclically).
 // -budget-w enables the cluster power plane (per-node caps distributed
 // from the budget by DVFS governors); combined with -policy powercap the
 // scheduler also delays placements that would exceed the budget and
-// prefers cooler nodes.
+// prefers cooler nodes. With -campaign, the -nodes/-policy/-mitigated/
+// -budget-w flags override the spec when set explicitly.
 package main
 
 import (
@@ -24,9 +29,7 @@ import (
 	"os"
 	"strings"
 
-	"montecimone/internal/cluster"
-	"montecimone/internal/core"
-	"montecimone/internal/power"
+	"montecimone/internal/campaign"
 	"montecimone/internal/report"
 	"montecimone/internal/sched"
 )
@@ -36,6 +39,8 @@ func main() {
 	mitigated := flag.Bool("mitigated", false, "apply the airflow mitigation before the campaign")
 	policy := flag.String("policy", "easy", "scheduling policy: "+strings.Join(sched.PolicyNames(), "|"))
 	budgetW := flag.Float64("budget-w", 0, "cluster power budget in watts (0 disables the power plane)")
+	campaignPath := flag.String("campaign", "", "run this JSON campaign spec instead of the demo campaign")
+	events := flag.Bool("events", false, "print the campaign event log after the report (with -campaign)")
 	backfill := flag.Bool("backfill", true, "deprecated: -backfill=false is an alias for -policy fifo")
 	flag.Parse()
 	if !*backfill {
@@ -45,85 +50,81 @@ func main() {
 		}
 		*policy = "fifo"
 	}
-	if err := run(os.Stdout, *nodes, *mitigated, *policy, *budgetW); err != nil {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	var err error
+	if *campaignPath != "" {
+		err = runSpecFile(os.Stdout, *campaignPath, set, *nodes, *mitigated, *policy, *budgetW, *events)
+	} else {
+		err = run(os.Stdout, *nodes, *mitigated, *policy, *budgetW)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcsched:", err)
 		os.Exit(1)
 	}
 }
 
-// campaignJob describes one submission of the demo campaign.
-type campaignJob struct {
-	name     string
-	workload string
-	nodes    int
-	limit    float64
-	duration float64
-}
-
-func run(w io.Writer, nodes int, mitigated bool, policy string, budgetW float64) error {
-	s, err := core.NewSystem(core.Options{
-		Nodes:          nodes,
-		NoMonitor:      true,
-		Policy:         policy,
-		SyntheticSlots: nodes > cluster.DefaultNodes,
-		PowerBudgetW:   budgetW,
-	})
+// runSpecFile loads a campaign spec, applies explicit flag overrides and
+// runs it end to end, printing the report (and optionally the event log).
+func runSpecFile(w io.Writer, path string, set map[string]bool, nodes int, mitigated bool, policy string, budgetW float64, events bool) error {
+	spec, err := campaign.Load(path)
 	if err != nil {
 		return err
 	}
-	defer s.Close()
-	if err := s.Boot(); err != nil {
+	if set["nodes"] {
+		spec.Nodes = nodes
+	}
+	if set["policy"] {
+		spec.Policy = policy
+	}
+	if set["mitigated"] {
+		spec.Mitigated = mitigated
+	}
+	if set["budget-w"] {
+		spec.PowerBudgetW = budgetW
+	}
+	res, err := campaign.Run(spec)
+	if err != nil {
 		return err
 	}
+	if err := res.WriteReport(w); err != nil {
+		return err
+	}
+	if events {
+		fmt.Fprintln(w, "\nevent log:")
+		return res.WriteEventLog(w)
+	}
+	return nil
+}
+
+// run executes the demo campaign — the default spec on the campaign
+// engine — with the command's traditional squeue/sinfo checkpoints.
+func run(w io.Writer, nodes int, mitigated bool, policy string, budgetW float64) error {
+	r, err := campaign.NewRunner(campaign.DefaultSpec(nodes, policy, mitigated, budgetW))
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	s := r.System()
 	if mitigated {
-		if err := s.Cluster.ApplyAirflowMitigation(); err != nil {
-			return err
-		}
 		fmt.Fprintln(w, "enclosure: lid removed, increased blade spacing (mitigated)")
 	} else {
 		fmt.Fprintln(w, "enclosure: original 1U lid-on build")
 	}
-
-	campaign := []campaignJob{
-		{"hpl-full", "hpl", nodes, 5400, 3700},
-		{"stream-ddr", "stream.ddr", 1, 600, 300},
-		{"stream-l2", "stream.l2", 1, 600, 300},
-		{"qe-lax", "qe", 1, 300, 38},
-		{"hpl-half", "hpl", (nodes + 1) / 2, 3600, 1900},
-	}
-	for _, cj := range campaign {
-		cj := cj
-		spec := sched.JobSpec{
-			Name: cj.name, User: "bench", Nodes: cj.nodes,
-			TimeLimit: cj.limit, Duration: cj.duration,
-			ActivityClass: cj.workload,
-			OnStart: func(_ *sched.Job, hosts []string) {
-				act, mem, err := workloadActivity(cj.workload)
-				if err == nil {
-					// Hosts come from the scheduler's partition, so the
-					// cluster resolves them; halted nodes cannot be
-					// allocated.
-					_ = s.Cluster.RunWorkloadOn(hosts, cj.workload, act, mem)
-				}
-			},
-			OnEnd: func(j *sched.Job, _ sched.JobState) {
-				s.Cluster.ClearWorkloadOn(j.Hosts())
-			},
-		}
-		if _, err := s.Scheduler.Submit(spec); err != nil {
-			return err
-		}
-	}
-
 	fmt.Fprintf(w, "scheduler policy: %s\n", s.Scheduler.PolicyName())
 	if s.Plane != nil {
 		fmt.Fprintf(w, "power plane: budget %.1f W\n", s.Plane.BudgetW())
+	}
+	// Flush the submission events (all at campaign t=0) before the first
+	// snapshot.
+	if err := s.Engine.RunUntil(r.StartTime()); err != nil {
+		return err
 	}
 	fmt.Fprintf(w, "\n== t=%.0f s: campaign submitted\n", s.Engine.Now())
 	printQueue(w, s.Scheduler)
 
 	for _, checkpoint := range []float64{600, 2400, 7200} {
-		if err := s.Engine.RunUntil(checkpoint); err != nil {
+		if err := s.Engine.RunUntil(r.StartTime() + checkpoint); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "\n== t=%.0f s\n", s.Engine.Now())
@@ -132,7 +133,7 @@ func run(w io.Writer, nodes int, mitigated bool, policy string, budgetW float64)
 	}
 
 	// Drain whatever is left.
-	if err := s.Engine.RunUntil(30000); err != nil {
+	if err := r.Drain(); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "\n== t=%.0f s: final accounting (sacct)\n", s.Engine.Now())
@@ -145,22 +146,11 @@ func run(w io.Writer, nodes int, mitigated bool, policy string, budgetW float64)
 			s.Scheduler.PolicyName(),
 		)
 	}
-	return acct.Write(w)
-}
-
-func workloadActivity(name string) (power.Activity, float64, error) {
-	act, ok := power.ClassActivity(name)
-	if !ok {
-		return power.Activity{}, 0, fmt.Errorf("unknown workload %q", name)
+	if err := acct.Write(w); err != nil {
+		return err
 	}
-	switch name {
-	case "hpl":
-		return act, 13.3e9, nil
-	case "stream.ddr", "stream.l2":
-		return act, 2.1e9, nil
-	default: // qe, idle
-		return act, 0.4e9, nil
-	}
+	fmt.Fprintln(w)
+	return r.Result().WriteReport(w)
 }
 
 func printQueue(w io.Writer, s *sched.Scheduler) {

@@ -72,3 +72,28 @@ func TestUnknownPolicyRejected(t *testing.T) {
 		t.Error("unknown policy accepted")
 	}
 }
+
+// -campaign must run a JSON spec end to end and print the report; explicit
+// flags override the spec.
+func TestCampaignSpecRun(t *testing.T) {
+	var sb strings.Builder
+	err := runSpecFile(&sb, "../../internal/campaign/testdata/smoke.json",
+		map[string]bool{"policy": true}, 8, false, "bestfit", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`campaign "smoke"`, "policy bestfit", "COMPLETED", "event log:", "start"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// A missing or malformed spec must fail loudly.
+func TestCampaignSpecErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := runSpecFile(&sb, "no-such-spec.json", nil, 8, false, "easy", 0, false); err == nil {
+		t.Error("missing spec accepted")
+	}
+}

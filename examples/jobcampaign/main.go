@@ -1,101 +1,77 @@
 // Jobcampaign: run a production-style benchmark campaign through the full
-// stack — SLURM-like scheduling with EASY backfill, workloads modulating
-// node power/thermals, and the ExaMon pipeline (pmu_pub + stats_pub ->
-// MQTT broker -> time-series store) watching everything. Afterwards the
-// collected data is queried back through the store, the way the paper's
-// batch analyses use the RESTful API.
+// stack — a declarative campaign spec expanded by the seeded generator
+// into a Poisson job stream over the workload registry, SLURM-like
+// scheduling with EASY backfill, phased workload models modulating node
+// power/thermals, and the ExaMon pipeline (pmu_pub + stats_pub -> MQTT
+// broker -> time-series store) watching everything. Afterwards the
+// campaign report is printed and the collected data is queried back
+// through the store, the way the paper's batch analyses use the RESTful
+// API.
 //
-// Run with: go run ./examples/jobcampaign
+// Run with: go run ./examples/jobcampaign [-nodes N] [-seed S] [-policy P]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"strings"
 
-	"montecimone/internal/core"
+	"montecimone/internal/campaign"
 	"montecimone/internal/examon"
-	"montecimone/internal/power"
 	"montecimone/internal/report"
 	"montecimone/internal/sched"
 )
 
-// job describes one campaign entry.
-type job struct {
-	name     string
-	workload string
-	activity power.Activity
-	memBytes float64
-	nodes    int
-	limit    float64
-	duration float64
-}
-
 func main() {
-	if err := run(); err != nil {
+	nodes := flag.Int("nodes", 8, "compute nodes (synthetic slots beyond 8)")
+	seed := flag.Int64("seed", 1, "campaign generator seed")
+	policy := flag.String("policy", "easy", "scheduling policy: "+strings.Join(sched.PolicyNames(), "|"))
+	flag.Parse()
+	if err := run(*nodes, *seed, *policy); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	system, err := core.NewSystem(core.Options{Nodes: 8, HPMPatch: true})
+// spec builds the demo campaign: a Poisson stream over the paper's
+// workload catalogue, sized to the partition.
+func spec(nodes int, seed int64, policy string) campaign.Spec {
+	jobs := 2 * nodes
+	if jobs < 8 {
+		jobs = 8
+	}
+	return campaign.Spec{
+		Name: "jobcampaign", Nodes: nodes, Seed: seed, HorizonS: 12000,
+		Policy: policy, Monitor: true, Mitigated: true,
+		Arrival: &campaign.Arrival{Process: campaign.ProcessPoisson, RatePerHour: 240, Jobs: jobs},
+		Mix: []campaign.MixEntry{
+			{Workload: "hpl", Weight: 3, NodesMin: 2, NodesMax: nodes, DurationS: 900},
+			{Workload: "stream.ddr", Weight: 2, NodesMin: 1, NodesMax: 2, DurationS: 420},
+			{Workload: "stream.l2", Weight: 1, DurationS: 420},
+			{Workload: "qe", Weight: 2, NodesMin: 1, NodesMax: 2},
+		},
+	}
+}
+
+func run(nodes int, seed int64, policy string) error {
+	r, err := campaign.NewRunner(spec(nodes, seed, policy))
 	if err != nil {
 		return err
 	}
-	defer system.Close()
-	if err := system.Boot(); err != nil {
+	defer r.Close()
+	start := r.StartTime()
+	if err := r.Drain(); err != nil {
 		return err
 	}
-	// Campaigns run on the fixed cluster; apply the thermal fix first so
-	// long HPL jobs survive (see examples/thermalrunaway for the
-	// original enclosure).
-	if err := system.Cluster.ApplyAirflowMitigation(); err != nil {
-		return err
-	}
+	end := r.System().Engine.Now()
 
-	campaign := []job{
-		{"hpl-8n", "hpl", power.ActivityHPL, 13.3e9, 8, 4200, 3700},
-		{"stream-ddr", "stream.ddr", power.ActivityStreamDDR, 2.1e9, 1, 900, 420},
-		{"stream-l2", "stream.l2", power.ActivityStreamL2, 2.1e9, 1, 900, 420},
-		{"qe-lax-1", "qe", power.ActivityQE, 0.4e9, 1, 300, 38},
-		{"qe-lax-2", "qe", power.ActivityQE, 0.4e9, 2, 300, 25},
-		{"hpl-4n", "hpl", power.ActivityHPL, 13.3e9, 4, 7200, 6400},
-	}
-	start := system.Engine.Now()
-	for _, cj := range campaign {
-		cj := cj
-		if _, err := system.Scheduler.Submit(sched.JobSpec{
-			Name: cj.name, User: "bench", Nodes: cj.nodes,
-			TimeLimit: cj.limit, Duration: cj.duration,
-			OnStart: func(_ *sched.Job, hosts []string) {
-				// Allocated hosts always resolve within the partition.
-				_ = system.Cluster.RunWorkloadOn(hosts, cj.workload, cj.activity, cj.memBytes)
-			},
-			OnEnd: func(j *sched.Job, _ sched.JobState) {
-				system.Cluster.ClearWorkloadOn(j.Hosts())
-			},
-		}); err != nil {
-			return err
-		}
-	}
-
-	// Drain the campaign.
-	if err := system.Engine.RunUntil(start + 12000); err != nil {
-		return err
-	}
-	end := system.Engine.Now()
-
-	acct := &report.Table{Title: "campaign accounting (sacct)",
-		Headers: []string{"JobID", "Name", "State", "Nodes", "Start", "End"}}
-	for _, row := range system.Scheduler.Sacct() {
-		acct.AddRow(fmt.Sprintf("%d", row.ID), row.Name, string(row.State),
-			fmt.Sprintf("%d", row.Nodes),
-			fmt.Sprintf("%.0f", row.Start-start), fmt.Sprintf("%.0f", row.End-start))
-	}
-	if err := acct.Write(log.Writer()); err != nil {
+	res := r.Result()
+	if err := res.WriteReport(log.Writer()); err != nil {
 		return err
 	}
 
 	// Query the monitoring data back, Grafana-style.
+	system := r.System()
 	fmt.Printf("\nExaMon collected %d series from %d messages\n",
 		system.DB.SeriesCount(), system.Broker.Published())
 	hosts := system.Cluster.Hostnames()
@@ -109,8 +85,8 @@ func run() error {
 	fmt.Print(report.Heatmap("instructions/s per node over the campaign", hm))
 
 	// One batch query like the paper's analysis scripts: mean cpu_temp
-	// per node while the big HPL job ran, aggregated server-side by the
-	// v2 query layer instead of copying the series out and averaging here.
+	// per node over the campaign, aggregated server-side by the v2 query
+	// layer instead of copying the series out and averaging here.
 	fmt.Println("\nmean cpu_temp during the campaign:")
 	agg, err := examon.QueryAgg(system.DB, examon.Filter{
 		Plugin: "dstat_pub", Metric: "temperature.cpu_temp",

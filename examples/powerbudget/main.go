@@ -19,6 +19,7 @@ import (
 	"montecimone/internal/power"
 	"montecimone/internal/report"
 	"montecimone/internal/sched"
+	"montecimone/internal/workload"
 )
 
 // The budget covers the nine shunt-monitored rails per node (what
@@ -134,13 +135,13 @@ func campaign(policy string) (outcome, error) {
 	var done int
 	for _, j := range jobs {
 		j := j
+		model := workload.MustLookup(j.class)
 		spec := sched.JobSpec{
 			Name: j.name, User: "ops", Nodes: j.nodes,
 			TimeLimit: j.duration + 300, Duration: j.duration,
-			ActivityClass: j.class,
+			Workload: model,
 			OnStart: func(_ *sched.Job, hosts []string) {
-				act, _ := power.ClassActivity(j.class)
-				_ = s.Cluster.RunWorkloadOn(hosts, j.class, act, 2e9)
+				_ = s.Cluster.RunWorkloadOn(hosts, model.Name, model.Steady, model.MemBytes)
 			},
 			OnEnd: func(job *sched.Job, st sched.JobState) {
 				s.Cluster.ClearWorkloadOn(job.Hosts())

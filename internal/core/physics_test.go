@@ -8,6 +8,7 @@ import (
 	"montecimone/internal/examon"
 	"montecimone/internal/power"
 	"montecimone/internal/sched"
+	"montecimone/internal/workload"
 )
 
 // TestPaperArtifactsIdenticalAcrossPhysicsModes proves the demand-driven
@@ -144,7 +145,7 @@ func TestPowerPlaneBudgetEnforcement(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		spec := sched.JobSpec{
 			Name: fmt.Sprintf("hpl-%d", i), User: "ops", Nodes: 4,
-			TimeLimit: 900, Duration: 600, ActivityClass: "hpl",
+			TimeLimit: 900, Duration: 600, Workload: workload.MustLookup("hpl"),
 			OnStart: func(_ *sched.Job, hosts []string) {
 				if err := s.Cluster.RunWorkloadOn(hosts, "hpl", power.ActivityHPL, 13e9); err != nil {
 					t.Errorf("workload: %v", err)
@@ -214,7 +215,7 @@ func TestPowerCapPrefersCoolerNodes(t *testing.T) {
 	}
 	s.Cluster.ClearWorkloadOn([]string{"mc03"})
 	job, err := s.Scheduler.Submit(sched.JobSpec{
-		Name: "probe", User: "ops", Nodes: 1, TimeLimit: 60, Duration: 30, ActivityClass: "qe",
+		Name: "probe", User: "ops", Nodes: 1, TimeLimit: 60, Duration: 30, Workload: workload.MustLookup("qe"),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"montecimone/internal/spack"
 	"montecimone/internal/stream"
 	"montecimone/internal/thermal"
+	"montecimone/internal/workload"
 )
 
 // TableI regenerates Table I: the user-facing software stack deployed via
@@ -234,29 +235,23 @@ func Decomposition() PowerDecomposition {
 	}
 }
 
-// workloadMemBytes approximates each benchmark's resident set on a node.
-const (
-	hplMemBytes    = 13.3e9 // N=40704 doubles over 8 nodes plus buffers
-	streamMemBytes = 2.1e9
-	qeMemBytes     = 0.4e9
+// Per-workload resident sets, resolved from the registry models so the
+// figure/extension runners and campaign physics can never drift apart.
+var (
+	hplMemBytes    = workload.MustLookup("hpl").MemBytes
+	streamMemBytes = workload.MustLookup("stream.ddr").MemBytes
+	qeMemBytes     = workload.MustLookup("qe").MemBytes
 )
 
-// workloadActivity maps benchmark names to their activity profiles.
+// workloadActivity resolves a benchmark name through the workload
+// registry — the single source of activity profiles and footprints; the
+// per-experiment switch tables are gone.
 func workloadActivity(name string) (power.Activity, float64, error) {
-	switch name {
-	case "hpl":
-		return power.ActivityHPL, hplMemBytes, nil
-	case "stream.ddr":
-		return power.ActivityStreamDDR, streamMemBytes, nil
-	case "stream.l2":
-		return power.ActivityStreamL2, streamMemBytes, nil
-	case "qe":
-		return power.ActivityQE, qeMemBytes, nil
-	case "idle":
-		return power.ActivityIdle, 0, nil
-	default:
-		return power.Activity{}, 0, fmt.Errorf("core: unknown workload %q", name)
+	m, err := workload.Lookup(name)
+	if err != nil {
+		return power.Activity{}, 0, fmt.Errorf("core: %w", err)
 	}
+	return m.Steady, m.MemBytes, nil
 }
 
 // ThermalEnvironments exposes the enclosure states used by the Fig. 6

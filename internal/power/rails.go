@@ -99,24 +99,9 @@ var (
 	ActivityQE = Activity{CoreActivity: 0.341, DDRReadGBs: 0.75, DDRWriteGBs: 0.15, L2GBs: 8.5, PCIeActivity: 0.10}
 )
 
-// ClassActivity resolves a workload activity-class name (the benchmark
-// identifiers used across the scheduler and the CLIs) to its calibrated
-// activity profile. The class names are the Table VI workload columns.
-func ClassActivity(name string) (Activity, bool) {
-	switch name {
-	case "hpl":
-		return ActivityHPL, true
-	case "stream.l2":
-		return ActivityStreamL2, true
-	case "stream.ddr":
-		return ActivityStreamDDR, true
-	case "qe":
-		return ActivityQE, true
-	case "idle", "":
-		return ActivityIdle, true
-	}
-	return Activity{}, false
-}
+// Workload-name resolution lives in the workload registry
+// (internal/workload.Lookup), the single mapping from benchmark names to
+// these calibrated profiles; this package only owns the physics.
 
 // Model evaluates per-rail power for a phase and activity. Construct with
 // NewModel; the zero value has zero coefficients everywhere.

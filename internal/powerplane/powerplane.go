@@ -382,15 +382,13 @@ func (g *Governor) Snapshot() Snapshot {
 // The governor implements sched.PowerAdvisor so the powercap policy can
 // consult it (the scheduler only sees the interface).
 
-// PredictedJobWatts predicts the incremental draw of placing a job of the
-// given activity class on the given node count: the rail model at the
-// class's activity minus the idle floor those running nodes already draw.
-// Unknown classes predict as HPL, the heaviest calibrated profile.
-func (g *Governor) PredictedJobWatts(activityClass string, nodes int) float64 {
-	act, ok := power.ClassActivity(activityClass)
-	if !ok {
-		act = power.ActivityHPL
-	}
+// PredictedJobWatts predicts the incremental draw of placing a job with
+// the given steady activity profile (the workload model's calibrated
+// Table VI column, via sched.JobSpec.Activity) on the given node count:
+// the rail model at that activity minus the idle floor those running
+// nodes already draw. Jobs without a model carry the idle zero profile
+// and predict no incremental draw.
+func (g *Governor) PredictedJobWatts(act power.Activity, nodes int) float64 {
 	perNode := (g.pm.TotalMilliwatts(power.PhaseRun, act) -
 		g.pm.TotalMilliwatts(power.PhaseRun, power.ActivityIdle)) / 1000
 	if perNode < 0 {
@@ -422,9 +420,9 @@ func (g *Governor) NodeTempC(host string) float64 {
 // NotePlacement reserves a just-placed job's predicted watts until the
 // measurement window has seen the new draw, preventing a burst of
 // admissions in one scheduling pass from blowing through the budget.
-func (g *Governor) NotePlacement(activityClass string, nodes int) {
+func (g *Governor) NotePlacement(act power.Activity, nodes int) {
 	g.reservations = append(g.reservations, reservation{
-		watts: g.PredictedJobWatts(activityClass, nodes),
+		watts: g.PredictedJobWatts(act, nodes),
 		until: g.engine.Now() + reservationPeriods*g.cfg.Period,
 	})
 }

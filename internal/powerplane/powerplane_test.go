@@ -140,17 +140,14 @@ func TestAdvisorContract(t *testing.T) {
 	pm := power.NewModel()
 	wantPerNode := (pm.TotalMilliwatts(power.PhaseRun, power.ActivityHPL) -
 		pm.TotalMilliwatts(power.PhaseRun, power.ActivityIdle)) / 1000
-	if got := g.PredictedJobWatts("hpl", 4); math.Abs(got-4*wantPerNode) > 1e-9 {
-		t.Errorf("PredictedJobWatts(hpl,4) = %v, want %v", got, 4*wantPerNode)
+	if got := g.PredictedJobWatts(power.ActivityHPL, 4); math.Abs(got-4*wantPerNode) > 1e-9 {
+		t.Errorf("PredictedJobWatts(hpl, 4) = %v, want %v", got, 4*wantPerNode)
 	}
-	if got := g.PredictedJobWatts("no-such-class", 1); got != wantPerNode {
-		t.Errorf("unknown class predicted %v, want the HPL fallback %v", got, wantPerNode)
-	}
-	if got := g.PredictedJobWatts("idle", 3); got != 0 {
-		t.Errorf("idle class predicted %v, want 0", got)
+	if got := g.PredictedJobWatts(power.Activity{}, 3); got != 0 {
+		t.Errorf("idle profile predicted %v, want 0", got)
 	}
 	before := g.HeadroomWatts()
-	g.NotePlacement("hpl", 2)
+	g.NotePlacement(power.ActivityHPL, 2)
 	after := g.HeadroomWatts()
 	if d := before - after; math.Abs(d-2*wantPerNode) > 1e-9 {
 		t.Errorf("reservation shaved %v W off headroom, want %v", d, 2*wantPerNode)

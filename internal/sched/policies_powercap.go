@@ -4,10 +4,11 @@ import "sort"
 
 // powercapPolicy closes the power-management loop at the scheduling
 // layer: jobs start in submission order, but a job whose predicted draw
-// (rail model at its activity class) would exceed the cluster power
-// budget's headroom is delayed until running work finishes or the power
-// plane reports headroom again, and allocations prefer the coolest idle
-// nodes so new load lands where the thermal margin is largest.
+// (rail model at its workload model's steady activity) would exceed the
+// cluster power budget's headroom is delayed until running work finishes
+// or the power plane reports headroom again, and allocations prefer the
+// coolest idle nodes so new load lands where the thermal margin is
+// largest.
 //
 // Fairness: the queue keeps submission order and no backfill runs behind
 // a power-blocked head, so later jobs cannot overtake it and pin the
@@ -40,7 +41,7 @@ func (p *powercapPolicy) Admit(job *Job, runningJobs int) bool {
 	if p.advisor == nil || runningJobs == 0 {
 		return true
 	}
-	predicted := p.advisor.PredictedJobWatts(job.Spec.ActivityClass, job.Spec.Nodes)
+	predicted := p.advisor.PredictedJobWatts(job.Spec.Activity(), job.Spec.Nodes)
 	return predicted <= p.advisor.HeadroomWatts()
 }
 

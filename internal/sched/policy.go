@@ -1,6 +1,10 @@
 package sched
 
-import "fmt"
+import (
+	"fmt"
+
+	"montecimone/internal/power"
+)
 
 // Policy customises the scheduler's three decision points: the priority
 // order of the pending queue, the hosts allocated to a starting job, and
@@ -59,10 +63,11 @@ func PolicyByName(name string) (Policy, error) {
 // stays free of any physics or telemetry dependency.
 type PowerAdvisor interface {
 	// PredictedJobWatts returns the predicted incremental cluster draw
-	// (watts) of placing a job of the given activity class on the given
-	// node count — the rail model evaluated at the class's activity
-	// profile, minus the idle draw the nodes already contribute.
-	PredictedJobWatts(activityClass string, nodes int) float64
+	// (watts) of placing a job with the given steady activity profile
+	// (JobSpec.Activity — the workload model's calibrated Table VI
+	// column) on the given node count: the rail model evaluated at that
+	// activity, minus the idle draw the nodes already contribute.
+	PredictedJobWatts(act power.Activity, nodes int) float64
 	// HeadroomWatts returns the budget headroom currently available for
 	// new placements (budget minus measured draw minus unexpired
 	// placement reservations).
@@ -70,10 +75,10 @@ type PowerAdvisor interface {
 	// NodeTempC returns a node's SoC junction temperature, for
 	// cooler-node-first placement.
 	NodeTempC(host string) float64
-	// NotePlacement records that a job of the given class was just placed
-	// on the given node count, reserving its predicted watts until the
-	// measured draw catches up.
-	NotePlacement(activityClass string, nodes int)
+	// NotePlacement records that a job with the given activity profile
+	// was just placed on the given node count, reserving its predicted
+	// watts until the measured draw catches up.
+	NotePlacement(act power.Activity, nodes int)
 }
 
 // PowerAwarePolicy is implemented by policies that consult a PowerAdvisor

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"testing"
 
+	"montecimone/internal/power"
 	"montecimone/internal/sim"
+	"montecimone/internal/workload"
 )
 
 // fakeAdvisor is a deterministic PowerAdvisor for scheduler-level tests.
@@ -15,7 +17,7 @@ type fakeAdvisor struct {
 	placements []string
 }
 
-func (f *fakeAdvisor) PredictedJobWatts(class string, nodes int) float64 {
+func (f *fakeAdvisor) PredictedJobWatts(act power.Activity, nodes int) float64 {
 	return float64(nodes) * f.perNodeW
 }
 func (f *fakeAdvisor) HeadroomWatts() float64 { return f.headroomW }
@@ -25,8 +27,8 @@ func (f *fakeAdvisor) NodeTempC(host string) float64 {
 	}
 	return 50
 }
-func (f *fakeAdvisor) NotePlacement(class string, nodes int) {
-	f.placements = append(f.placements, fmt.Sprintf("%s/%d", class, nodes))
+func (f *fakeAdvisor) NotePlacement(act power.Activity, nodes int) {
+	f.placements = append(f.placements, fmt.Sprintf("%.3f/%d", act.CoreActivity, nodes))
 }
 
 // TestPowerCapDelaysOverBudgetHead: a job whose predicted draw exceeds
@@ -39,13 +41,13 @@ func TestPowerCapDelaysOverBudgetHead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := s.Submit(JobSpec{Name: "a", Nodes: 2, TimeLimit: 100, Duration: 50, ActivityClass: "hpl"})
+	first, err := s.Submit(JobSpec{Name: "a", Nodes: 2, TimeLimit: 100, Duration: 50, Workload: workload.MustLookup("hpl")})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// 4 nodes x 2 W = 8 W > 5 W headroom: must wait even though nodes are
 	// free.
-	second, err := s.Submit(JobSpec{Name: "b", Nodes: 4, TimeLimit: 100, Duration: 50, ActivityClass: "hpl"})
+	second, err := s.Submit(JobSpec{Name: "b", Nodes: 4, TimeLimit: 100, Duration: 50, Workload: workload.MustLookup("hpl")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func TestPowerCapDelaysOverBudgetHead(t *testing.T) {
 	if second.State() != StateRunning {
 		t.Fatalf("job still %s after headroom returned", second.State())
 	}
-	if len(adv.placements) != 2 || adv.placements[0] != "hpl/2" || adv.placements[1] != "hpl/4" {
+	if len(adv.placements) != 2 || adv.placements[0] != "0.465/2" || adv.placements[1] != "0.465/4" {
 		t.Errorf("placements reported = %v", adv.placements)
 	}
 }
@@ -82,7 +84,7 @@ func TestPowerCapForcedProgress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	job, err := s.Submit(JobSpec{Name: "big", Nodes: 4, TimeLimit: 50, Duration: 10, ActivityClass: "hpl"})
+	job, err := s.Submit(JobSpec{Name: "big", Nodes: 4, TimeLimit: 50, Duration: 10, Workload: workload.MustLookup("hpl")})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,9 @@ import (
 	"math"
 	"sort"
 
+	"montecimone/internal/power"
 	"montecimone/internal/sim"
+	"montecimone/internal/workload"
 )
 
 // JobState follows SLURM's job life cycle.
@@ -64,16 +66,26 @@ type JobSpec struct {
 	Duration float64
 	// Requeue controls whether a NODE_FAIL puts the job back in the queue.
 	Requeue bool
-	// ActivityClass names the workload's activity profile ("hpl",
-	// "stream.ddr", ...; see power.ClassActivity) so power-aware policies
-	// can predict the job's draw before placing it. Empty means idle-like
-	// (no incremental draw predicted); unknown classes predict
-	// conservatively as HPL, the heaviest profile.
-	ActivityClass string
+	// Workload is the job's first-class workload model from the registry
+	// (workload.Lookup): power-aware policies predict the job's draw from
+	// its steady activity profile before placing it, and campaign runners
+	// drive the model's phase cycle on the allocated nodes. Nil means an
+	// idle-like job with no incremental draw.
+	Workload *workload.Model
 	// OnStart runs when the job starts, with the allocated hostnames.
 	OnStart func(job *Job, hosts []string)
 	// OnEnd runs when the job leaves the node set, with the final state.
 	OnEnd func(job *Job, state JobState)
+}
+
+// Activity returns the steady activity profile power-aware policies
+// predict with: the workload model's calibrated profile, or the idle zero
+// value for jobs without a model.
+func (s *JobSpec) Activity() power.Activity {
+	if s.Workload == nil {
+		return power.Activity{}
+	}
+	return s.Workload.Steady
 }
 
 // Job is a scheduled instance of a JobSpec.
@@ -463,7 +475,7 @@ func (s *Scheduler) start(job *Job, hosts []string) {
 	s.releases.push(job.release)
 	if s.advisor != nil {
 		// Reserve the predicted draw until the plane's measurements see it.
-		s.advisor.NotePlacement(job.Spec.ActivityClass, job.Spec.Nodes)
+		s.advisor.NotePlacement(job.Spec.Activity(), job.Spec.Nodes)
 	}
 	runFor := job.Spec.Duration
 	final := StateCompleted
