@@ -6,8 +6,14 @@
 //	mcrun -experiment table1|table2|table3|table4|table5|table6|
 //	                  fig2|fig3|fig4|fig5|fig6|
 //	                  hpl-efficiency|stream-efficiency|qe-lax|infiniband|
-//	                  decomposition|all
-//	      [-seed N] [-workload hpl|stream.ddr|stream.l2|qe|idle]
+//	                  decomposition|campaign|all
+//	      [-seed N] [-workload hpl|stream.ddr|stream.l2|qe|idle] [-shards N]
+//
+// The campaign experiment runs the demo batch campaign end to end and
+// prints its report; -shards selects the engine's parallel
+// event-preparation width for it (0 = GOMAXPROCS, output is byte-identical
+// at any width). It is not part of -experiment all, which regenerates the
+// paper artifacts byte-for-byte.
 package main
 
 import (
@@ -15,7 +21,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
+	"montecimone/internal/campaign"
 	"montecimone/internal/core"
 	"montecimone/internal/power"
 	"montecimone/internal/report"
@@ -25,15 +33,23 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment id (see -help)")
 	seed := flag.Int64("seed", 1, "deterministic noise seed")
 	workload := flag.String("workload", "hpl", "workload for fig3 traces")
+	shards := flag.Int("shards", 1, "engine shard count for the campaign experiment (0 = GOMAXPROCS)")
 	flag.Parse()
-	if err := run(os.Stdout, *experiment, *seed, *workload); err != nil {
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "mcrun: -shards must be >= 0, got %d\n", *shards)
+		os.Exit(1)
+	}
+	if *shards == 0 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
+	if err := run(os.Stdout, *experiment, *seed, *workload, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "mcrun:", err)
 		os.Exit(1)
 	}
 }
 
 // run dispatches one experiment (or all of them) to the writer.
-func run(w io.Writer, experiment string, seed int64, workload string) error {
+func run(w io.Writer, experiment string, seed int64, workload string, shards int) error {
 	runners := map[string]func(io.Writer, int64) error{
 		"table1":            runTableI,
 		"table2":            runTableII,
@@ -58,6 +74,9 @@ func run(w io.Writer, experiment string, seed int64, workload string) error {
 	if experiment == "fig3" {
 		return runFig3(w, seed, workload)
 	}
+	if experiment == "campaign" {
+		return runCampaign(w, seed, shards)
+	}
 	if experiment == "all" {
 		order := []string{
 			"table1", "table2", "table3", "table4", "table5", "table6",
@@ -81,6 +100,21 @@ func run(w io.Writer, experiment string, seed int64, workload string) error {
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
 	return fn(w, seed)
+}
+
+// runCampaign executes the demo batch campaign on a (possibly sharded)
+// engine and prints its report. Deliberately NOT part of "all": the "all"
+// output is the paper-artifact regeneration that CI diffs byte-for-byte,
+// and this experiment exists to exercise the sharded engine path.
+func runCampaign(w io.Writer, seed int64, shards int) error {
+	spec := campaign.DefaultSpec(8, "easy", true, 0)
+	spec.Seed = seed
+	spec.Shards = shards
+	res, err := campaign.Run(spec)
+	if err != nil {
+		return err
+	}
+	return res.WriteReport(w)
 }
 
 func runTableI(w io.Writer, _ int64) error {

@@ -11,7 +11,13 @@
 // Usage:
 //
 //	mcsched [-nodes N] [-mitigated] [-policy fifo|easy|sjf|bestfit|powercap]
-//	        [-budget-w W] [-campaign spec.json] [-events]
+//	        [-budget-w W] [-campaign spec.json] [-events] [-shards N]
+//
+// -shards selects the engine's parallel event-preparation width (0 means
+// one shard per available CPU); any value produces byte-identical output,
+// sharding only changes wall-clock time. The effective count is reported
+// in the run header (on stderr for -campaign runs, keeping the report
+// diffable across shard counts).
 //
 // Node counts beyond the paper's eight-slot enclosure run with synthetic
 // slots (thermal environments reuse the physical slots cyclically).
@@ -27,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"montecimone/internal/campaign"
@@ -41,8 +48,16 @@ func main() {
 	budgetW := flag.Float64("budget-w", 0, "cluster power budget in watts (0 disables the power plane)")
 	campaignPath := flag.String("campaign", "", "run this JSON campaign spec instead of the demo campaign")
 	events := flag.Bool("events", false, "print the campaign event log after the report (with -campaign)")
+	shards := flag.Int("shards", 1, "engine shard count for parallel event preparation (0 = GOMAXPROCS)")
 	backfill := flag.Bool("backfill", true, "deprecated: -backfill=false is an alias for -policy fifo")
 	flag.Parse()
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "mcsched: -shards must be >= 0, got %d\n", *shards)
+		os.Exit(1)
+	}
+	if *shards == 0 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
 	if !*backfill {
 		if *policy != "easy" {
 			fmt.Fprintf(os.Stderr, "mcsched: -backfill=false conflicts with -policy %s (use -policy alone)\n", *policy)
@@ -54,9 +69,9 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	var err error
 	if *campaignPath != "" {
-		err = runSpecFile(os.Stdout, *campaignPath, set, *nodes, *mitigated, *policy, *budgetW, *events)
+		err = runSpecFile(os.Stdout, *campaignPath, set, *nodes, *mitigated, *policy, *budgetW, *shards, *events)
 	} else {
-		err = run(os.Stdout, *nodes, *mitigated, *policy, *budgetW)
+		err = run(os.Stdout, *nodes, *mitigated, *policy, *budgetW, *shards)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcsched:", err)
@@ -66,7 +81,7 @@ func main() {
 
 // runSpecFile loads a campaign spec, applies explicit flag overrides and
 // runs it end to end, printing the report (and optionally the event log).
-func runSpecFile(w io.Writer, path string, set map[string]bool, nodes int, mitigated bool, policy string, budgetW float64, events bool) error {
+func runSpecFile(w io.Writer, path string, set map[string]bool, nodes int, mitigated bool, policy string, budgetW float64, shards int, events bool) error {
 	spec, err := campaign.Load(path)
 	if err != nil {
 		return err
@@ -83,6 +98,13 @@ func runSpecFile(w io.Writer, path string, set map[string]bool, nodes int, mitig
 	if set["budget-w"] {
 		spec.PowerBudgetW = budgetW
 	}
+	if set["shards"] {
+		spec.Shards = shards
+	}
+	// Shard count goes to stderr: the report on stdout stays byte-diffable
+	// across shard counts (CI diffs serial vs sharded runs of the smoke
+	// spec).
+	fmt.Fprintf(os.Stderr, "mcsched: engine shards: %d\n", effectiveShards(spec.Shards))
 	res, err := campaign.Run(spec)
 	if err != nil {
 		return err
@@ -97,10 +119,21 @@ func runSpecFile(w io.Writer, path string, set map[string]bool, nodes int, mitig
 	return nil
 }
 
+// effectiveShards maps a spec/flag shard setting to the worker count the
+// engine will actually run (0 and 1 are the serial engine).
+func effectiveShards(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
 // run executes the demo campaign — the default spec on the campaign
 // engine — with the command's traditional squeue/sinfo checkpoints.
-func run(w io.Writer, nodes int, mitigated bool, policy string, budgetW float64) error {
-	r, err := campaign.NewRunner(campaign.DefaultSpec(nodes, policy, mitigated, budgetW))
+func run(w io.Writer, nodes int, mitigated bool, policy string, budgetW float64, shards int) error {
+	spec := campaign.DefaultSpec(nodes, policy, mitigated, budgetW)
+	spec.Shards = shards
+	r, err := campaign.NewRunner(spec)
 	if err != nil {
 		return err
 	}
@@ -112,6 +145,7 @@ func run(w io.Writer, nodes int, mitigated bool, policy string, budgetW float64)
 		fmt.Fprintln(w, "enclosure: original 1U lid-on build")
 	}
 	fmt.Fprintf(w, "scheduler policy: %s\n", s.Scheduler.PolicyName())
+	fmt.Fprintf(w, "engine shards: %d\n", effectiveShards(shards))
 	if s.Plane != nil {
 		fmt.Fprintf(w, "power plane: budget %.1f W\n", s.Plane.BudgetW())
 	}

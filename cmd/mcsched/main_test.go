@@ -1,13 +1,14 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
 
 func TestCampaignOriginalEnclosure(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 8, false, "easy", 0); err != nil {
+	if err := run(&sb, 8, false, "easy", 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -28,7 +29,7 @@ func TestCampaignOriginalEnclosure(t *testing.T) {
 
 func TestCampaignMitigated(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 8, true, "easy", 0); err != nil {
+	if err := run(&sb, 8, true, "easy", 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -45,7 +46,7 @@ func TestCampaignAlternatePolicies(t *testing.T) {
 		policy := policy
 		t.Run(policy, func(t *testing.T) {
 			var sb strings.Builder
-			if err := run(&sb, 8, true, policy, 0); err != nil {
+			if err := run(&sb, 8, true, policy, 0, 1); err != nil {
 				t.Fatal(err)
 			}
 			out := sb.String()
@@ -66,9 +67,32 @@ func TestCampaignAlternatePolicies(t *testing.T) {
 	}
 }
 
+// The demo campaign's stdout must be byte-identical at any shard count
+// (minus the header line reporting the count itself), and the header must
+// report the effective width.
+func TestCampaignShardedMatchesSerial(t *testing.T) {
+	render := func(shards int) string {
+		var sb strings.Builder
+		if err := run(&sb, 8, true, "easy", 0, shards); err != nil {
+			t.Fatal(err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, fmt.Sprintf("engine shards: %d\n", effectiveShards(shards))) {
+			t.Errorf("missing shard header line for shards=%d:\n%s", shards, out)
+		}
+		return strings.Replace(out, fmt.Sprintf("engine shards: %d\n", effectiveShards(shards)), "", 1)
+	}
+	serial := render(1)
+	for _, shards := range []int{2, 4} {
+		if got := render(shards); got != serial {
+			t.Errorf("demo output diverges at shards=%d:\n--- serial\n%s\n--- sharded\n%s", shards, serial, got)
+		}
+	}
+}
+
 func TestUnknownPolicyRejected(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 8, false, "lottery", 0); err == nil {
+	if err := run(&sb, 8, false, "lottery", 0, 1); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }
@@ -78,7 +102,7 @@ func TestUnknownPolicyRejected(t *testing.T) {
 func TestCampaignSpecRun(t *testing.T) {
 	var sb strings.Builder
 	err := runSpecFile(&sb, "../../internal/campaign/testdata/smoke.json",
-		map[string]bool{"policy": true}, 8, false, "bestfit", 0, true)
+		map[string]bool{"policy": true}, 8, false, "bestfit", 0, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +117,7 @@ func TestCampaignSpecRun(t *testing.T) {
 // A missing or malformed spec must fail loudly.
 func TestCampaignSpecErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := runSpecFile(&sb, "no-such-spec.json", nil, 8, false, "easy", 0, false); err == nil {
+	if err := runSpecFile(&sb, "no-such-spec.json", nil, 8, false, "easy", 0, 1, false); err == nil {
 		t.Error("missing spec accepted")
 	}
 }

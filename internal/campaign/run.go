@@ -54,6 +54,7 @@ func NewRunner(spec Spec) (*Runner, error) {
 		SyntheticSlots: spec.Nodes > cluster.DefaultNodes,
 		PowerBudgetW:   spec.PowerBudgetW,
 		HPMPatch:       spec.Monitor,
+		Shards:         spec.Shards,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)

@@ -1,0 +1,205 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"montecimone/internal/examon"
+)
+
+// renderAt runs the spec with the given shard count and returns the
+// rendered report and event log.
+func renderAt(t *testing.T, spec Spec, shards int) (string, string) {
+	t.Helper()
+	spec.Shards = shards
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	var rep, log bytes.Buffer
+	if err := res.WriteReport(&rep); err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	if err := res.WriteEventLog(&log); err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	return rep.String(), log.String()
+}
+
+// assertShardInvariant runs the spec serially and at 1/2/4/8 shards and
+// requires byte-identical reports and event logs throughout — the
+// tentpole's determinism gate: sharding is a wall-clock knob only.
+func assertShardInvariant(t *testing.T, spec Spec) {
+	t.Helper()
+	rep0, log0 := renderAt(t, spec, 0) // serial engine (the ablation)
+	for _, shards := range []int{1, 2, 4, 8} {
+		rep, log := renderAt(t, spec, shards)
+		if rep != rep0 {
+			t.Errorf("report diverges at shards=%d:\n--- serial\n%s\n--- shards=%d\n%s",
+				shards, rep0, shards, rep)
+		}
+		if log != log0 {
+			t.Errorf("event log diverges at shards=%d:\n--- serial\n%s\n--- shards=%d\n%s",
+				shards, log0, shards, log)
+		}
+	}
+}
+
+// TestShardedCampaignByteIdentical covers the main campaign
+// configurations: phased mix, fixed-activity ablation, monitor-on
+// sampling, and the power plane with its cap-redistribution barriers.
+func TestShardedCampaignByteIdentical(t *testing.T) {
+	t.Run("phased", func(t *testing.T) {
+		assertShardInvariant(t, mixedSpec("easy", 11))
+	})
+	t.Run("fixed-activity", func(t *testing.T) {
+		spec := mixedSpec("fifo", 5)
+		spec.FixedActivity = true
+		assertShardInvariant(t, spec)
+	})
+	t.Run("monitor", func(t *testing.T) {
+		spec := Spec{
+			Name: "shard-mon", Nodes: 8, Seed: 3, HorizonS: 2500,
+			Policy: "easy", Mitigated: true, Monitor: true,
+			Arrival: &Arrival{Process: ProcessPoisson, RatePerHour: 120, Jobs: 5},
+			Mix: []MixEntry{
+				{Workload: "stream.ddr", Weight: 1, NodesMin: 1, NodesMax: 2, DurationS: 120},
+				{Workload: "qe", Weight: 1, DurationS: 40},
+			},
+		}
+		assertShardInvariant(t, spec)
+	})
+	t.Run("powerplane", func(t *testing.T) {
+		spec := Spec{
+			Name: "shard-power", Nodes: 8, Seed: 9, HorizonS: 2500,
+			Policy: "easy", Mitigated: true, PowerBudgetW: 40,
+			Arrival: &Arrival{Process: ProcessPoisson, RatePerHour: 120, Jobs: 5},
+			Mix: []MixEntry{
+				{Workload: "hpl", Weight: 1, NodesMin: 2, NodesMax: 4, DurationS: 200},
+				{Workload: "qe", Weight: 1, DurationS: 40},
+			},
+		}
+		assertShardInvariant(t, spec)
+	})
+}
+
+// TestShardedCampaignRandomizedSpecs fuzzes the spec space with a fixed
+// generator seed: random partition sizes, arrival rates, mixes and
+// campaign seeds, each checked serial-vs-sharded at 1/2/4/8 shards.
+func TestShardedCampaignRandomizedSpecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized shard sweep is slow")
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 3; i++ {
+		nodes := 8 + rng.Intn(3)*4 // 8, 12 or 16
+		spec := Spec{
+			Name:      fmt.Sprintf("shard-fuzz-%d", i),
+			Nodes:     nodes,
+			Seed:      rng.Int63n(1 << 30),
+			HorizonS:  6000,
+			Policy:    []string{"easy", "fifo", "sjf"}[rng.Intn(3)],
+			Mitigated: true,
+			Arrival: &Arrival{
+				Process:     ProcessPoisson,
+				RatePerHour: 120 + float64(rng.Intn(240)),
+				Jobs:        6 + rng.Intn(5),
+			},
+			Mix: []MixEntry{
+				{Workload: "hpl", Weight: float64(1 + rng.Intn(3)), NodesMin: 2, NodesMax: 2 + rng.Intn(nodes-2), DurationS: 200 + float64(rng.Intn(200))},
+				{Workload: "stream.ddr", Weight: float64(1 + rng.Intn(2)), NodesMin: 1, NodesMax: 2, DurationS: 120},
+				{Workload: "qe", Weight: 1, DurationS: 40},
+			},
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("generated spec %d invalid: %v", i, err)
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			assertShardInvariant(t, spec)
+		})
+	}
+}
+
+// TestShardedEngineConcurrentIngestQuery drives a monitor-on sharded
+// campaign while a reader goroutine hammers the TSDB — the race detector
+// (CI runs the package under -race) checks the shard workers' node
+// preparation against the storage engine's concurrent read paths.
+func TestShardedEngineConcurrentIngestQuery(t *testing.T) {
+	spec := Spec{
+		Name: "shard-race", Nodes: 8, Seed: 17, HorizonS: 1500,
+		Policy: "easy", Mitigated: true, Monitor: true, Shards: 4,
+		Arrival: &Arrival{Process: ProcessPoisson, RatePerHour: 120, Jobs: 4},
+		Mix: []MixEntry{
+			{Workload: "stream.ddr", Weight: 1, NodesMin: 1, NodesMax: 2, DurationS: 120},
+			{Workload: "qe", Weight: 1, DurationS: 40},
+		},
+	}
+	r, err := NewRunner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	db := r.System().DB
+	done := make(chan struct{})
+	queried := make(chan int, 1)
+	go func() {
+		defer close(done)
+		n := 0
+		for {
+			select {
+			case <-queried:
+				return
+			default:
+			}
+			for _, s := range db.Query(examon.Filter{Plugin: "pmu_pub", Metric: "INSTRET"}) {
+				n += len(s.Points)
+			}
+			_ = db.SeriesCount()
+		}
+	}()
+	if err := r.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	queried <- 0
+	<-done
+	res := r.Result()
+	if res.Completed == 0 {
+		t.Error("race campaign completed no jobs")
+	}
+}
+
+// TestShardedWindowStats pins the parallel-width counters: a sharded
+// campaign must actually exercise the windowed loop (windows formed,
+// events committed through them, node keys prepared off-loop), while the
+// serial ablation reports zeros — the counters are how a multi-core host
+// verifies the engine exposes parallel work even though byte-identity
+// hides it from the reports.
+func TestShardedWindowStats(t *testing.T) {
+	run := func(shards int) (windows, events, prepared uint64) {
+		spec := mixedSpec("easy", 7)
+		spec.Shards = shards
+		r, err := NewRunner(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if err := r.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return r.System().Engine.WindowStats()
+	}
+	if w, ev, pr := run(0); w != 0 || ev != 0 || pr != 0 {
+		t.Errorf("serial engine reported window stats %d/%d/%d, want 0/0/0", w, ev, pr)
+	}
+	w, ev, pr := run(4)
+	if w == 0 || ev == 0 || pr == 0 {
+		t.Fatalf("sharded engine reported window stats %d/%d/%d, want all > 0", w, ev, pr)
+	}
+	if ev < w {
+		t.Errorf("windowed events %d < windows %d", ev, w)
+	}
+	t.Logf("windows=%d windowed-events=%d prepared-keys=%d (%.2f events/window, %.2f preps/window)",
+		w, ev, pr, float64(ev)/float64(w), float64(pr)/float64(w))
+}

@@ -102,6 +102,10 @@ type Spec struct {
 	// FixedActivity disables phase interleaving (jobs hold their steady
 	// Table VI profile) — the campaign benchmark's ablation.
 	FixedActivity bool `json:"fixed_activity,omitempty"`
+	// Shards sets the engine's parallel-preparation shard count. 0 and 1
+	// run the serial engine; any count produces byte-identical reports and
+	// event logs (sharding is a wall-clock knob, not a model knob).
+	Shards int `json:"shards,omitempty"`
 	// Arrival and Mix generate a job stream; Jobs lists an explicit
 	// trace. At least one source must be present.
 	Arrival *Arrival   `json:"arrival,omitempty"`
@@ -152,6 +156,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.HorizonS <= 0 {
 		return fmt.Errorf("campaign: spec %q: horizon_s must be positive, got %v", s.Name, s.HorizonS)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("campaign: spec %q: shards must be >= 0, got %d", s.Name, s.Shards)
 	}
 	if s.Policy != "" {
 		if _, err := sched.PolicyByName(s.Policy); err != nil {

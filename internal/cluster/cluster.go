@@ -68,6 +68,7 @@ type Cluster struct {
 	engine  *sim.Engine
 	machine *soc.Machine
 	nodes   []*node.Node
+	index   map[string]int // hostname -> 0-based node index (= shard key)
 	fabric  *netsim.Fabric
 
 	nfs    *storage.NFS
@@ -133,12 +134,21 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		engine:     engine,
 		machine:    machine,
+		index:      make(map[string]int, n),
 		fabric:     fabric,
 		nfs:        storage.NewNFS(),
 		mounts:     make(map[string]*storage.Mount, n),
 		nvmes:      make(map[string]*storage.NVMe, n),
 		stepPeriod: period,
 		lockStep:   cfg.LockStep,
+	}
+	// The integration step is the cluster's conservative lookahead floor:
+	// after any input change a node's next transition deadline lies at
+	// least one step out, so windows no wider than a step can never see a
+	// mid-window watchdog land inside themselves. (Boot completions are
+	// R1+R2 out — far beyond this bound — and already covered by it.)
+	if err := engine.DeclareLookahead("cluster.step", period); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	for id := 1; id <= n; id++ {
 		nd, err := node.New(node.Config{
@@ -152,6 +162,7 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: %w", err)
 		}
 		c.nodes = append(c.nodes, nd)
+		c.index[nd.Hostname()] = id - 1
 		mount, err := c.nfs.Mount(nd.Hostname())
 		if err != nil {
 			return nil, fmt.Errorf("cluster: %w", err)
@@ -226,6 +237,10 @@ func (c *Cluster) replanWatch(i int) {
 	if now := c.engine.Now(); at < now {
 		at = now
 	}
+	// Watchdogs are deliberately plain (barrier) events: they exist to
+	// integrate a node ACROSS a state transition, whose callbacks (halt ->
+	// scheduler node-down, boot -> boot notification) are cross-shard edges
+	// that must run on the serial loop with the window closed behind them.
 	ev, err := c.engine.ScheduleAt(at, c.watchNames[i], func(e *sim.Engine) {
 		c.watches[i] = nil
 		nd.SyncTo(e.Now())
@@ -276,12 +291,46 @@ func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
 
 // NodeByHostname resolves a compute node by hostname.
 func (c *Cluster) NodeByHostname(host string) (*node.Node, error) {
-	for _, nd := range c.nodes {
-		if nd.Hostname() == host {
-			return nd, nil
-		}
+	if i, ok := c.index[host]; ok {
+		return c.nodes[i], nil
 	}
 	return nil, fmt.Errorf("cluster: unknown host %q", host)
+}
+
+// NodeKeys maps hostnames to their shard keys (0-based node indexes).
+// Unknown hosts are skipped: an event keyed for fewer nodes than it
+// touches merely loses prefetch parallelism, never correctness. The
+// workload executor uses this to mark phase-transition events shard-affine.
+func (c *Cluster) NodeKeys(hosts []string) []int {
+	keys := make([]int, 0, len(hosts))
+	for _, h := range hosts {
+		if i, ok := c.index[h]; ok {
+			keys = append(keys, i)
+		}
+	}
+	return keys
+}
+
+// PrepareNode is the engine's shard-state prefetcher: it integrates node
+// key exactly to virtual time at, when safe. Runs on shard worker
+// goroutines — distinct keys touch distinct node state, and the node
+// re-checks transition safety, so this never fires a transition callback
+// off the serial loop.
+func (c *Cluster) PrepareNode(key int, at float64) {
+	if key < 0 || key >= len(c.nodes) {
+		return
+	}
+	c.nodes[key].PrepareSync(at)
+}
+
+// NodePrepareSafe is the engine's window-termination probe: whether node
+// key can be prepared at instant at without reaching a state transition.
+// Unknown keys are vacuously safe (there is no node state to guard).
+func (c *Cluster) NodePrepareSafe(key int, at float64) bool {
+	if key < 0 || key >= len(c.nodes) {
+		return true
+	}
+	return c.nodes[key].PrepareSafe(at)
 }
 
 // Hostnames lists the compute-node hostnames in node order.

@@ -61,6 +61,12 @@ type Options struct {
 	// distributing per-node caps, and — when Policy is "powercap" — the
 	// power-aware scheduling loop consulting it before placements.
 	PowerBudgetW float64
+	// Shards sets the engine's shard count for parallel event preparation
+	// (conservative-lookahead windows with per-node physics prefetched on
+	// shard workers). 1 or 0 keeps the serial engine; results are
+	// byte-identical at every shard count — sharding changes wall-clock
+	// only, never virtual-time behaviour.
+	Shards int
 }
 
 // System is the assembled testbed.
@@ -161,6 +167,14 @@ func NewSystem(opts Options) (*System, error) {
 		RNG:       sim.NewRNG(opts.Seed),
 		Plane:     plane,
 		monitor:   !opts.NoMonitor,
+	}
+	if opts.Shards > 1 {
+		// The cluster owns all per-node physics, so it supplies both halves
+		// of the engine's shard protocol: the prefetch (PrepareNode syncs a
+		// node to an instant) and the safety probe (NodePrepareSafe rejects
+		// instants that could cross a state transition).
+		engine.SetShards(opts.Shards)
+		engine.SetPreparer(cl.PrepareNode, cl.NodePrepareSafe)
 	}
 	// Thermal halts surface as SLURM node failures.
 	cl.OnNodeHalt(func(host string) {

@@ -82,8 +82,14 @@ func (g *Governor) Start(engine *sim.Engine) error {
 	if g.ticker != nil {
 		return fmt.Errorf("dtm: governor already running on %s", g.node.Hostname())
 	}
-	tk, err := sim.NewTicker(engine, engine.Now()+g.cfg.Period, g.cfg.Period,
-		"dtm."+g.node.Hostname(), g.control)
+	// The control interval reads and actuates only this governor's node,
+	// so the tick is affine on the node's shard key (ID-1 — IDs are
+	// assigned 1..N in hostname order). A sharded engine prefetches the
+	// node to the tick instant; the actuation itself still runs serially,
+	// and later same-window events on the node re-integrate from here
+	// with the new operating point (first-touch preparation only).
+	tk, err := sim.NewAffineTicker(engine, engine.Now()+g.cfg.Period, g.cfg.Period,
+		"dtm."+g.node.Hostname(), []int{g.node.ID() - 1}, g.control)
 	if err != nil {
 		return fmt.Errorf("dtm: %w", err)
 	}

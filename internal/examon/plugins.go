@@ -52,8 +52,12 @@ func (p *PMUPub) Start(engine *sim.Engine) error {
 	if p.ticker != nil {
 		return fmt.Errorf("examon: pmu_pub already started on %s", p.node.Hostname())
 	}
-	tk, err := sim.NewTicker(engine, engine.Now()+PMUPubPeriod, PMUPubPeriod,
-		"examon.pmu_pub."+p.node.Hostname(), p.sample)
+	// Affine tick: the sample only integrates this plugin's own node (the
+	// broker publish is serial like every callback), so a sharded engine
+	// may prefetch the node's physics. Node IDs are assigned 1..N in
+	// hostname order, so ID-1 is the cluster's shard key for the node.
+	tk, err := sim.NewAffineTicker(engine, engine.Now()+PMUPubPeriod, PMUPubPeriod,
+		"examon.pmu_pub."+p.node.Hostname(), []int{p.node.ID() - 1}, p.sample)
 	if err != nil {
 		return fmt.Errorf("examon: %w", err)
 	}
@@ -138,8 +142,9 @@ func (s *StatsPub) Start(engine *sim.Engine) error {
 	if s.ticker != nil {
 		return fmt.Errorf("examon: stats_pub already started on %s", s.node.Hostname())
 	}
-	tk, err := sim.NewTicker(engine, engine.Now()+StatsPubPeriod, StatsPubPeriod,
-		"examon.stats_pub."+s.node.Hostname(), s.sample)
+	// Affine tick keyed by this node; see PMUPub.Start.
+	tk, err := sim.NewAffineTicker(engine, engine.Now()+StatsPubPeriod, StatsPubPeriod,
+		"examon.stats_pub."+s.node.Hostname(), []int{s.node.ID() - 1}, s.sample)
 	if err != nil {
 		return fmt.Errorf("examon: %w", err)
 	}
@@ -257,8 +262,9 @@ func (p *PowerPub) Start(engine *sim.Engine) error {
 	if p.ticker != nil {
 		return fmt.Errorf("examon: power_pub already started on %s", p.node.Hostname())
 	}
-	tk, err := sim.NewTicker(engine, engine.Now()+PowerPubPeriod, PowerPubPeriod,
-		"examon.power_pub."+p.node.Hostname(), p.sample)
+	// Affine tick keyed by this node; see PMUPub.Start.
+	tk, err := sim.NewAffineTicker(engine, engine.Now()+PowerPubPeriod, PowerPubPeriod,
+		"examon.power_pub."+p.node.Hostname(), []int{p.node.ID() - 1}, p.sample)
 	if err != nil {
 		return fmt.Errorf("examon: %w", err)
 	}

@@ -29,6 +29,13 @@ type Event struct {
 	fn   func(*Engine)
 	name string
 
+	// keys lists the shard keys (node indexes) whose model state the
+	// callback integrates, and affine marks the event as touching ONLY that
+	// keyed state. The sharded run loop prefetches keyed state in parallel
+	// ahead of the serial commit; see shard.go for the contract.
+	keys   []int
+	affine bool
+
 	cancelled bool
 	queue     *eventQueue // owning queue while pending, nil once popped
 	index     int         // heap index, -1 once popped or cancelled
@@ -61,11 +68,32 @@ type Engine struct {
 	stopped bool
 
 	executed uint64
+
+	// Sharded-execution configuration (see shard.go). The engine runs the
+	// classic serial loop unless shards > 1 AND a preparer pair is set.
+	shards    int
+	prepare   func(key int, at float64)
+	prepSafe  func(key int, at float64) bool
+	lookahead map[string]float64
+	span      float64 // min declared lookahead; +Inf with no declarations
+
+	// Window state, live only inside a sharded run (and, after a Stop
+	// mid-window, drained back into the queue before returning).
+	win    []*Event
+	winPos int
+	plan   []prep
+	seen   map[int]bool
+	shard  [][]prep
+
+	// Sharded-run statistics (see WindowStats).
+	windows  uint64
+	windowed uint64
+	prepared uint64
 }
 
 // NewEngine returns an engine with the clock at t=0 and an empty queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{span: math.Inf(1)}
 }
 
 // Now returns the current virtual time in seconds.
@@ -76,24 +104,24 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of live (non-cancelled) events currently
-// queued. Cancelled events are removed from the queue eagerly, so the count
-// never includes them.
-func (e *Engine) Pending() int { return e.queue.Len() }
+// queued. Cancelled events are removed from the queue eagerly, and a
+// stopped sharded run drains its window buffer back into the queue minus
+// any tombstones, so the count never includes dead events.
+func (e *Engine) Pending() int {
+	n := e.queue.Len()
+	for _, ev := range e.win[e.winPos:] {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
 
 // ScheduleAt registers fn to run at absolute virtual time at (seconds).
 // Scheduling in the past is an error; scheduling at the current instant is
 // allowed and runs after already-queued events for that instant.
 func (e *Engine) ScheduleAt(at float64, name string, fn func(*Engine)) (*Event, error) {
-	if math.IsNaN(at) || math.IsInf(at, 0) {
-		return nil, fmt.Errorf("sim: schedule %q: invalid time %v", name, at)
-	}
-	if at < e.now {
-		return nil, fmt.Errorf("sim: schedule %q: time %.9f is before now %.9f", name, at, e.now)
-	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, name: name, queue: &e.queue}
-	e.seq++
-	e.queue.Push(ev)
-	return ev, nil
+	return e.schedule(at, name, nil, false, fn)
 }
 
 // ScheduleAfter registers fn to run delay seconds after the current time.
@@ -101,11 +129,144 @@ func (e *Engine) ScheduleAfter(delay float64, name string, fn func(*Engine)) (*E
 	if delay < 0 {
 		return nil, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
 	}
-	return e.ScheduleAt(e.now+delay, name, fn)
+	return e.schedule(e.now+delay, name, nil, false, fn)
+}
+
+// ScheduleAtAffine registers a shard-affine event: the callback touches
+// only the model state owned by the given shard keys (it may still read
+// the engine and schedule or publish — that part always runs serially).
+// Affine events do not terminate a lookahead window; their keyed state may
+// be prepared concurrently. The engine keeps the keys slice; callers must
+// not mutate it afterwards. See shard.go for the full contract.
+func (e *Engine) ScheduleAtAffine(at float64, name string, keys []int, fn func(*Engine)) (*Event, error) {
+	return e.schedule(at, name, keys, true, fn)
+}
+
+// ScheduleAfterAffine is ScheduleAtAffine relative to the current time.
+func (e *Engine) ScheduleAfterAffine(delay float64, name string, keys []int, fn func(*Engine)) (*Event, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
+	}
+	return e.schedule(e.now+delay, name, keys, true, fn)
+}
+
+// ScheduleAtPrepared registers a prepared barrier: a cross-shard event
+// (it may touch anything and therefore terminates the lookahead window)
+// whose keyed model state is nevertheless known in advance and safe to
+// prepare concurrently — e.g. a job-end event whose allocation was fixed
+// at start time. The engine keeps the keys slice; callers must not mutate
+// it afterwards.
+func (e *Engine) ScheduleAtPrepared(at float64, name string, keys []int, fn func(*Engine)) (*Event, error) {
+	return e.schedule(at, name, keys, false, fn)
+}
+
+// ScheduleAfterPrepared is ScheduleAtPrepared relative to the current time.
+func (e *Engine) ScheduleAfterPrepared(delay float64, name string, keys []int, fn func(*Engine)) (*Event, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
+	}
+	return e.schedule(e.now+delay, name, keys, false, fn)
+}
+
+func (e *Engine) schedule(at float64, name string, keys []int, affine bool, fn func(*Engine)) (*Event, error) {
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		return nil, fmt.Errorf("sim: schedule %q: invalid time %v", name, at)
+	}
+	if at < e.now {
+		return nil, fmt.Errorf("sim: schedule %q: time %.9f is before now %.9f", name, at, e.now)
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, name: name, keys: keys, affine: affine, queue: &e.queue}
+	e.seq++
+	e.queue.Push(ev)
+	return ev, nil
 }
 
 // Stop halts the run loop after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
+
+// SetShards sets the worker count of the sharded run loop. Values below 2
+// keep the serial loop (shard 1 is the single-shard ablation and is the
+// serial engine by construction). Parallel execution also requires a
+// preparer (SetPreparer).
+func (e *Engine) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.shards = n
+}
+
+// Shards returns the configured shard count (minimum 1).
+func (e *Engine) Shards() int {
+	if e.shards < 1 {
+		return 1
+	}
+	return e.shards
+}
+
+// SetPreparer installs the shard-state prefetcher pair. prepare(key, at)
+// integrates the keyed model state exactly to virtual time at; it is called
+// from shard worker goroutines and must touch only key-owned state. safe
+// reports whether preparing the key to that time cannot fire a state
+// transition (a key near a transition makes its event window-terminal and
+// is integrated serially instead). Both must be non-nil for the sharded
+// loop to activate.
+func (e *Engine) SetPreparer(prepare func(key int, at float64), safe func(key int, at float64) bool) {
+	e.prepare = prepare
+	e.prepSafe = safe
+}
+
+// DeclareLookahead records a conservative lookahead lower bound: the
+// subsystem named name guarantees that no state revision it owns can
+// require attention sooner than dt seconds after any instant. The sharded
+// loop caps each window's time span at the minimum declared bound, which
+// guarantees that events scheduled DURING a window (watchdog replans,
+// phase transitions, ticker reschedules) always land beyond it — windows
+// therefore execute exactly the event set they prepared. Declaring a bound
+// can only shrink windows; correctness never depends on which bounds are
+// declared, only throughput does.
+func (e *Engine) DeclareLookahead(name string, dt float64) error {
+	if math.IsNaN(dt) || dt <= 0 {
+		return fmt.Errorf("sim: lookahead %q: bound must be positive, got %v", name, dt)
+	}
+	if e.lookahead == nil {
+		e.lookahead = make(map[string]float64)
+	}
+	e.lookahead[name] = dt
+	e.span = math.Inf(1)
+	for _, d := range e.lookahead {
+		if d < e.span {
+			e.span = d
+		}
+	}
+	return nil
+}
+
+// Lookahead returns the effective window span bound (+Inf when nothing is
+// declared; windows then end only at barriers).
+func (e *Engine) Lookahead() float64 { return e.span }
+
+// WindowStats reports the sharded loop's cumulative window count, events
+// committed through windows, and shard-prepared keys. prepared/windows is
+// the mean per-window parallel width — the work available to shard
+// workers regardless of how many CPUs the host actually has.
+func (e *Engine) WindowStats() (windows, events, prepared uint64) {
+	return e.windows, e.windowed, e.prepared
+}
+
+// parallel reports whether runs use the sharded windowed loop.
+func (e *Engine) parallel() bool {
+	return e.shards > 1 && e.prepare != nil && e.prepSafe != nil
+}
+
+// sweepTombstones pops cancelled events off the queue head so Pending
+// reports live events only after a run exits (cancellation inside the
+// window buffer marks events without removing them; this is the terminal
+// drain mirroring the eager in-queue removal).
+func (e *Engine) sweepTombstones() {
+	for e.queue.Len() > 0 && e.queue.Peek().cancelled {
+		e.queue.Pop()
+	}
+}
 
 // Step executes the single next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
@@ -130,6 +291,9 @@ func (e *Engine) RunUntil(horizon float64) error {
 	if horizon < e.now {
 		return fmt.Errorf("sim: horizon %.9f is before now %.9f", horizon, e.now)
 	}
+	if e.parallel() {
+		return e.runSharded(horizon, true)
+	}
 	e.stopped = false
 	for e.queue.Len() > 0 {
 		next := e.queue.Peek()
@@ -142,9 +306,11 @@ func (e *Engine) RunUntil(horizon float64) error {
 		}
 		e.Step()
 		if e.stopped {
+			e.sweepTombstones()
 			return ErrStopped
 		}
 	}
+	e.sweepTombstones()
 	e.now = horizon
 	return nil
 }
@@ -152,9 +318,13 @@ func (e *Engine) RunUntil(horizon float64) error {
 // Run executes all pending events (including ones scheduled while running)
 // until the queue drains. It returns ErrStopped if Stop was called.
 func (e *Engine) Run() error {
+	if e.parallel() {
+		return e.runSharded(math.Inf(1), false)
+	}
 	e.stopped = false
 	for e.Step() {
 		if e.stopped {
+			e.sweepTombstones()
 			return ErrStopped
 		}
 	}

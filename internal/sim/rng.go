@@ -3,6 +3,7 @@ package sim
 import (
 	"hash/fnv"
 	"math/rand"
+	"strconv"
 )
 
 // RNG is a named collection of deterministic random streams. Each subsystem
@@ -37,4 +38,19 @@ func (r *RNG) Stream(name string) *rand.Rand {
 // deviation using the named stream.
 func (r *RNG) Normal(stream string, mean, stddev float64) float64 {
 	return mean + stddev*r.Stream(stream).NormFloat64()
+}
+
+// ForShard derives the stream factory for one shard of a sharded run. The
+// child's master seed mixes the shard index into this factory's master
+// seed by name ("sim.shard.<i>"), so shard streams are fully determined by
+// the campaign seed and the shard index alone: independent of the total
+// shard count, of the order shards ask for their factories, and of any
+// draws taken from other shards or from the parent. Consumers that draw
+// noise on shard workers must draw from their shard's factory; serial
+// consumers keep drawing from the parent and see identical values at any
+// shard count.
+func (r *RNG) ForShard(shard int) *RNG {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte("sim.shard." + strconv.Itoa(shard)))
+	return NewRNG(r.master ^ int64(h.Sum64()))
 }

@@ -1,0 +1,288 @@
+package sim
+
+import "sync"
+
+// Sharded execution: conservative lookahead windows with a parallel
+// prepare / serial commit protocol.
+//
+// The engine never runs two event callbacks concurrently — callbacks
+// execute strictly in (time, sequence) order exactly as the serial loop
+// does, which is what makes a fixed seed produce byte-identical reports
+// and event logs at any shard count. What runs in parallel is the
+// expensive part the callbacks would otherwise do first thing serially:
+// integrating per-node model state (Euler thermal steps, counter
+// advances) up to the event instant. The loop:
+//
+//  1. collects a window: events popped in order up to the minimum declared
+//     lookahead span, stopping at (and including) the first barrier — any
+//     event not declared shard-affine — or the first event with a key too
+//     close to a state transition to prepare off-loop;
+//  2. builds a prepare plan: for every shard key touched by the window,
+//     the instant of its FIRST touching event (later touches are synced
+//     serially by the callbacks themselves, exactly as in a serial run);
+//  3. fans the plan out over shard workers (key mod shard count) which
+//     prefetch each key's state to exactly its first-touch instant;
+//  4. commits the window serially: buffered events interleaved with any
+//     events scheduled meanwhile, in (time, sequence) order.
+//
+// Determinism argument. A prepared key is integrated to exactly the
+// instant its first touching event would have integrated it to (the
+// callback's own lazy sync then degenerates to a no-op), so the set of
+// integration instants per node — which the Euler grid, the quiescent
+// relaxation and the EWMA updates are all sensitive to — is identical to
+// the serial schedule. Three rules close the remaining holes:
+//
+//   - barriers terminate windows, so an event that may cancel other
+//     events, redistribute power caps or start jobs can never invalidate
+//     a later event of its own window (there is none);
+//   - keys failing the preparer's safety check (a boot completion or
+//     thermal-trip deadline within one base step of the event) also
+//     terminate the window and are integrated serially, so state
+//     transitions only ever fire during the window's last event or on the
+//     serial loop between windows;
+//   - the window span is capped at the minimum declared lookahead, and
+//     every subsystem's self-rescheduling latency (watchdog replans at >=
+//     one integration step, workload phases and telemetry periods far
+//     above it) is at least that bound — so events scheduled during a
+//     window land beyond it, and a committed window executes exactly the
+//     event set it prepared.
+//
+// Affine contract (ScheduleAtAffine/ScheduleAfterAffine): the callback's
+// keys must cover every shard key whose model state it integrates or
+// mutates, it must not cancel events other than ones it scheduled itself,
+// and any events it schedules must not precede the current instant.
+// Cross-shard interactions — scheduler decisions, MPI collectives
+// resolving at phase boundaries, power-plane cap redistribution, campaign
+// arrivals — stay plain (barrier) events, optionally with prepare keys
+// (ScheduleAtPrepared) when their touched set is known at scheduling time.
+
+// maxWindowEvents bounds the window buffer (memory guard; windows this
+// large only occur in telemetry-dense monitored runs).
+const maxWindowEvents = 4096
+
+// prep is one prepare-plan entry: integrate key's state to virtual time at.
+type prep struct {
+	key int
+	at  float64
+}
+
+// prepPool is a set of persistent shard workers for one run. Workers live
+// for the duration of a Run/RunUntil call (runSharded closes them on the
+// way out), so per-window fan-out costs one channel send per shard.
+type prepPool struct {
+	prepare func(key int, at float64)
+	work    chan []prep
+	wg      sync.WaitGroup
+}
+
+func newPrepPool(workers int, prepare func(key int, at float64)) *prepPool {
+	p := &prepPool{prepare: prepare, work: make(chan []prep, workers)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for batch := range p.work {
+				for _, w := range batch {
+					p.prepare(w.key, w.at)
+				}
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run dispatches the non-empty batches and waits for all of them.
+func (p *prepPool) run(batches [][]prep) {
+	n := 0
+	for _, b := range batches {
+		if len(b) > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	p.wg.Add(n)
+	for _, b := range batches {
+		if len(b) > 0 {
+			p.work <- b
+		}
+	}
+	p.wg.Wait()
+}
+
+func (p *prepPool) close() { close(p.work) }
+
+// runSharded is the windowed run loop (both Run and RunUntil dispatch here
+// when sharding is active). bounded selects RunUntil semantics: stop
+// before events beyond horizon and leave the clock there.
+func (e *Engine) runSharded(horizon float64, bounded bool) error {
+	e.stopped = false
+	pool := newPrepPool(e.shards, e.prepare)
+	defer pool.close()
+	for {
+		e.sweepTombstones()
+		if e.queue.Len() == 0 {
+			break
+		}
+		if bounded && e.queue.Peek().at > horizon {
+			break
+		}
+		e.collectWindow(horizon, bounded)
+		e.prepareWindow(pool)
+		if err := e.drainWindow(); err != nil {
+			e.sweepTombstones()
+			return err
+		}
+	}
+	if bounded && horizon > e.now {
+		e.now = horizon
+	}
+	return nil
+}
+
+// collectWindow pops the next lookahead window into the buffer: events in
+// (time, sequence) order within the span bound, up to and including the
+// first barrier or the first event with an unpreparable key.
+func (e *Engine) collectWindow(horizon float64, bounded bool) {
+	e.win = e.win[:0]
+	e.winPos = 0
+	end := e.queue.Peek().at + e.span
+	if bounded && horizon < end {
+		end = horizon
+	}
+	for e.queue.Len() > 0 && len(e.win) < maxWindowEvents {
+		ev := e.queue.Peek()
+		if ev.cancelled {
+			e.queue.Pop()
+			continue
+		}
+		if ev.at > end {
+			break
+		}
+		e.queue.Pop()
+		e.win = append(e.win, ev)
+		if !ev.affine || !e.keysSafe(ev) {
+			break
+		}
+	}
+}
+
+// keysSafe reports whether every key of ev can be prepared off-loop at its
+// instant (no state transition within reach). An unsafe key makes the
+// event window-terminal; the preparer itself re-checks and skips such keys,
+// leaving their integration to the serial commit.
+func (e *Engine) keysSafe(ev *Event) bool {
+	for _, k := range ev.keys {
+		if !e.prepSafe(k, ev.at) {
+			return false
+		}
+	}
+	return true
+}
+
+// prepareWindow builds the first-touch plan over the buffered events and
+// fans it out across the shard workers. Plans with a single key skip the
+// pool. Distinct keys own distinct state, so cross-worker completion order
+// is irrelevant; within a worker, keys prepare in plan (time) order.
+func (e *Engine) prepareWindow(pool *prepPool) {
+	if e.seen == nil {
+		e.seen = make(map[int]bool)
+	}
+	plan := e.plan[:0]
+	for _, ev := range e.win {
+		for _, k := range ev.keys {
+			if !e.seen[k] {
+				e.seen[k] = true
+				plan = append(plan, prep{key: k, at: ev.at})
+			}
+		}
+	}
+	e.plan = plan
+	for _, p := range plan {
+		delete(e.seen, p.key)
+	}
+	e.windows++
+	e.windowed += uint64(len(e.win))
+	e.prepared += uint64(len(plan))
+	switch len(plan) {
+	case 0:
+		return
+	case 1:
+		e.prepare(plan[0].key, plan[0].at)
+		return
+	}
+	if len(e.shard) < e.shards {
+		e.shard = make([][]prep, e.shards)
+	}
+	batches := e.shard[:e.shards]
+	for i := range batches {
+		batches[i] = batches[i][:0]
+	}
+	for _, p := range plan {
+		s := p.key % e.shards
+		if s < 0 {
+			s += e.shards
+		}
+		batches[s] = append(batches[s], p)
+	}
+	for i := range batches {
+		e.shard[i] = batches[i]
+	}
+	pool.run(batches)
+}
+
+// drainWindow commits the window serially: buffered events interleaved by
+// (time, sequence) with anything scheduled meanwhile, skipping events
+// cancelled since collection.
+func (e *Engine) drainWindow() error {
+	for e.winPos < len(e.win) {
+		ev := e.win[e.winPos]
+		if ev.cancelled {
+			e.winPos++
+			continue
+		}
+		if e.queue.Len() > 0 {
+			h := e.queue.Peek()
+			if h.cancelled {
+				e.queue.Pop()
+				continue
+			}
+			if h.at < ev.at || (h.at == ev.at && h.seq < ev.seq) {
+				e.queue.Pop()
+				e.now = h.at
+				e.executed++
+				h.fn(e)
+				if e.stopped {
+					return e.stopMidWindow()
+				}
+				continue // re-check ev: the callback may have cancelled it
+			}
+		}
+		e.winPos++
+		e.now = ev.at
+		e.executed++
+		ev.fn(e)
+		if e.stopped {
+			return e.stopMidWindow()
+		}
+	}
+	e.win = e.win[:0]
+	e.winPos = 0
+	return nil
+}
+
+// stopMidWindow re-queues the live remainder of the window buffer and
+// drops its tombstones (the terminal cancelled-event drain: a stopped run
+// must leave Pending counting live events only), then reports the stop.
+func (e *Engine) stopMidWindow() error {
+	for _, ev := range e.win[e.winPos:] {
+		if ev.cancelled {
+			continue
+		}
+		ev.queue = &e.queue
+		e.queue.Push(ev)
+	}
+	e.win = e.win[:0]
+	e.winPos = 0
+	return ErrStopped
+}

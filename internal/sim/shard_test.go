@@ -1,0 +1,383 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// cells is a synthetic stand-in for the cluster's per-node physics: an
+// array of independently integrable states that record every integration
+// instant. The recorded instant sequences are the determinism oracle —
+// the sharded engine must produce exactly the serial sequences, because
+// the real thermal models (Euler grids, quiescent relaxation, EWMA
+// filters) are sensitive to where integration is split.
+type cells struct {
+	t        []float64   // last-integrated instant per cell
+	hist     [][]float64 // integration instants per cell
+	deadline []float64   // "state transition" instant; prepare unsafe near it
+	base     float64     // safety margin, mirroring the node integration step
+}
+
+func newCells(n int, base float64) *cells {
+	c := &cells{
+		t:        make([]float64, n),
+		hist:     make([][]float64, n),
+		deadline: make([]float64, n),
+		base:     base,
+	}
+	for i := range c.deadline {
+		c.deadline[i] = 1e18 // no transition in reach
+	}
+	return c
+}
+
+func (c *cells) sync(k int, at float64) {
+	if at <= c.t[k] {
+		return
+	}
+	c.t[k] = at
+	c.hist[k] = append(c.hist[k], at)
+}
+
+func (c *cells) safe(k int, at float64) bool { return c.deadline[k] > at+c.base }
+
+func (c *cells) prepare(k int, at float64) {
+	if c.safe(k, at) { // preparer re-checks, like cluster.PrepareNode
+		c.sync(k, at)
+	}
+}
+
+// buildProgram schedules a randomized but seed-deterministic event program
+// on the engine: affine events over random key sets, prepared barriers,
+// plain barriers that touch many cells, affine tickers, and follow-up
+// events scheduled from callbacks. Callbacks append to trace serially and
+// integrate their cells exactly as real model events do. Affine follow-ups
+// honour the declared lookahead (delays >= span), matching the contract
+// every production subsystem satisfies.
+func buildProgram(t *testing.T, e *Engine, c *cells, trace *[]string, seed int64) {
+	t.Helper()
+	const span = 0.1
+	if err := e.DeclareLookahead("test.span", span); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(c.t)
+	record := func(name string) {
+		*trace = append(*trace, fmt.Sprintf("%s@%.6f", name, e.Now()))
+	}
+	keysOf := func() []int {
+		keys := make([]int, 0, 3)
+		for len(keys) < 1+rng.Intn(3) {
+			keys = append(keys, rng.Intn(n))
+		}
+		return keys
+	}
+	for i := 0; i < 40; i++ {
+		at := rng.Float64() * 20
+		keys := keysOf()
+		name := fmt.Sprintf("aff%d", i)
+		withChild := i%4 == 0
+		fn := func(en *Engine) {
+			record(name)
+			for _, k := range keys {
+				c.sync(k, en.Now())
+			}
+			if withChild {
+				// Follow-up delays honour the declared lookahead, as every
+				// production subsystem's self-rescheduling latency does.
+				// Callbacks run serially in identical order at every shard
+				// count, so these runtime rng draws stay deterministic.
+				child := name + ".child"
+				childKeys := keysOf()
+				if _, err := en.ScheduleAfterAffine(span+rng.Float64(), child, childKeys, func(en2 *Engine) {
+					record(child)
+					for _, k := range childKeys {
+						c.sync(k, en2.Now())
+					}
+				}); err != nil {
+					t.Errorf("schedule %s: %v", child, err)
+				}
+			}
+		}
+		if _, err := e.ScheduleAtAffine(at, name, keys, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prepared barriers: touched set known in advance (like job ends).
+	for i := 0; i < 8; i++ {
+		at := rng.Float64() * 20
+		keys := keysOf()
+		name := fmt.Sprintf("prep%d", i)
+		if _, err := e.ScheduleAtPrepared(at, name, keys, func(en *Engine) {
+			record(name)
+			for _, k := range keys {
+				c.sync(k, en.Now())
+			}
+			// Barriers may do cross-shard work: touch an unrelated cell.
+			c.sync((keys[0]+1)%n, en.Now())
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Plain barriers: sweep several cells, schedule immediate follow-ups
+	// (barriers terminate windows, so delay-0 scheduling is allowed).
+	for i := 0; i < 6; i++ {
+		at := rng.Float64() * 20
+		name := fmt.Sprintf("bar%d", i)
+		if _, err := e.ScheduleAt(at, name, func(en *Engine) {
+			record(name)
+			for k := 0; k < n; k += 2 {
+				c.sync(k, en.Now())
+			}
+			kick := name + ".kick"
+			kk := rng.Intn(n)
+			if _, err := en.ScheduleAfter(0, kick, func(en2 *Engine) {
+				record(kick)
+				c.sync(kk, en2.Now())
+			}); err != nil {
+				t.Errorf("schedule %s: %v", kick, err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A cell whose "transition" sits mid-run: events touching it near the
+	// deadline fail the safety probe and run window-terminal.
+	c.deadline[0] = 10
+	// Affine tickers, like the telemetry samplers.
+	for i := 0; i < 3; i++ {
+		k := rng.Intn(n)
+		name := fmt.Sprintf("tick%d", i)
+		if _, err := NewAffineTicker(e, 0.25+float64(i)*0.2, 0.5, name, []int{k}, func(now float64) {
+			record(name)
+			c.sync(k, now)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runProgram executes the synthetic program to the horizon and returns
+// the serial trace and per-cell integration histories.
+func runProgram(t *testing.T, shards int, seed int64) ([]string, [][]float64) {
+	t.Helper()
+	e := NewEngine()
+	c := newCells(16, 0.1)
+	if shards > 1 {
+		e.SetShards(shards)
+		e.SetPreparer(c.prepare, c.safe)
+	}
+	var trace []string
+	buildProgram(t, e, c, &trace, seed)
+	if err := e.RunUntil(21); err != nil {
+		t.Fatal(err)
+	}
+	return trace, c.hist
+}
+
+// TestShardedEngineMatchesSerial is the engine-level determinism gate:
+// randomized programs must produce byte-identical callback traces and
+// integration histories at every shard count.
+func TestShardedEngineMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		trace0, hist0 := runProgram(t, 1, seed)
+		for _, shards := range []int{2, 4, 8} {
+			trace, hist := runProgram(t, shards, seed)
+			if fmt.Sprint(trace) != fmt.Sprint(trace0) {
+				t.Fatalf("seed %d shards %d: trace diverged\nserial:  %v\nsharded: %v",
+					seed, shards, trace0, trace)
+			}
+			if fmt.Sprint(hist) != fmt.Sprint(hist0) {
+				t.Fatalf("seed %d shards %d: integration instants diverged\nserial:  %v\nsharded: %v",
+					seed, shards, hist0, hist)
+			}
+		}
+	}
+}
+
+// TestShardedStopResume stops a sharded run mid-window, checks Pending
+// reports live events only, resumes, and requires the final trace to
+// match an uninterrupted serial run.
+func TestShardedStopResume(t *testing.T) {
+	build := func(e *Engine, c *cells, trace *[]string, stopAt string) {
+		for i := 0; i < 6; i++ {
+			at := float64(i) * 0.01
+			name := fmt.Sprintf("aff%d", i)
+			k := i % len(c.t)
+			fn := func(en *Engine) {
+				*trace = append(*trace, fmt.Sprintf("%s@%.3f", name, en.Now()))
+				c.sync(k, en.Now())
+				if name == stopAt {
+					en.Stop()
+				}
+			}
+			if _, err := e.ScheduleAtAffine(at, name, []int{k}, fn); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	serial := func() []string {
+		e := NewEngine()
+		c := newCells(4, 0.1)
+		var trace []string
+		build(e, c, &trace, "")
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}()
+	e := NewEngine()
+	e.SetShards(4)
+	c := newCells(4, 0.1)
+	e.SetPreparer(c.prepare, c.safe)
+	var trace []string
+	build(e, c, &trace, "aff2")
+	if err := e.Run(); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if got := e.Pending(); got != 3 {
+		t.Errorf("Pending after stop = %d, want 3 (aff3..aff5 live)", got)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(trace) != fmt.Sprint(serial) {
+		t.Errorf("stop/resume trace diverged\nserial: %v\ngot:    %v", serial, trace)
+	}
+}
+
+// TestStoppedRunDrainsTombstones: a callback cancels later events and
+// stops the engine; Pending must then count live events only — on the
+// serial loop and on the sharded loop (where the cancelled event may sit
+// in the window buffer).
+func TestStoppedRunDrainsTombstones(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			e := NewEngine()
+			c := newCells(4, 0.1)
+			if shards > 1 {
+				e.SetShards(shards)
+				e.SetPreparer(c.prepare, c.safe)
+			}
+			var doomed []*Event
+			for i := 0; i < 4; i++ {
+				at := 1 + float64(i)*0.01
+				k := i % len(c.t)
+				ev, err := e.ScheduleAtAffine(at, fmt.Sprintf("doomed%d", i), []int{k}, func(en *Engine) {
+					c.sync(k, en.Now())
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				doomed = append(doomed, ev)
+			}
+			survivor, err := e.ScheduleAt(5, "survivor", func(*Engine) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.ScheduleAt(1, "killer", func(en *Engine) {
+				for _, ev := range doomed {
+					ev.Cancel()
+				}
+				en.Stop()
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Run(); err != ErrStopped {
+				t.Fatalf("Run = %v, want ErrStopped", err)
+			}
+			if got := e.Pending(); got != 1 {
+				t.Errorf("Pending after stop = %d, want 1 (only %q)", got, survivor.Name())
+			}
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got := e.Pending(); got != 0 {
+				t.Errorf("Pending after drain = %d, want 0", got)
+			}
+		})
+	}
+}
+
+// TestRunUntilDrainsTombstonesAtHorizon: cancelling an event beyond the
+// horizon from inside a run leaves no tombstone behind after exit.
+func TestRunUntilDrainsTombstonesAtHorizon(t *testing.T) {
+	e := NewEngine()
+	late, err := e.ScheduleAt(10, "late", func(*Engine) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ScheduleAt(1, "canceller", func(*Engine) { late.Cancel() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Errorf("Pending = %d, want 0", got)
+	}
+}
+
+// TestRNGForShardIndependence is the RNG-stream audit regression: a
+// shard's streams are fully determined by (master seed, shard index) —
+// independent of the total shard count, of the order factories are
+// derived, and of draws taken elsewhere.
+func TestRNGForShardIndependence(t *testing.T) {
+	draw := func(r *RNG) float64 { return r.Stream("noise").Float64() }
+
+	a := NewRNG(99)
+	want := draw(a.ForShard(3))
+
+	// Different derivation order, extra shards, interleaved parent draws.
+	b := NewRNG(99)
+	_ = draw(b.ForShard(7))
+	_ = b.Stream("other").Float64()
+	_ = draw(b.ForShard(0))
+	if got := draw(b.ForShard(3)); got != want {
+		t.Errorf("shard 3 stream = %v, want %v (must not depend on other shards or draws)", got, want)
+	}
+
+	// Distinct shards see distinct streams.
+	if draw(NewRNG(99).ForShard(4)) == want {
+		t.Error("shards 3 and 4 drew identical values; streams must differ")
+	}
+
+	// Parent streams are unperturbed by shard derivation.
+	p1 := NewRNG(42)
+	v1 := p1.Stream("jitter").Float64()
+	p2 := NewRNG(42)
+	_ = p2.ForShard(1)
+	_ = p2.ForShard(2)
+	v2 := p2.Stream("jitter").Float64()
+	if v1 != v2 {
+		t.Errorf("parent stream perturbed by ForShard: %v vs %v", v1, v2)
+	}
+}
+
+// TestDeclareLookahead checks span bookkeeping and validation.
+func TestDeclareLookahead(t *testing.T) {
+	e := NewEngine()
+	if !math.IsInf(e.Lookahead(), 1) {
+		t.Errorf("undeclared lookahead = %v, want +Inf", e.Lookahead())
+	}
+	if err := e.DeclareLookahead("a", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeclareLookahead("b", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Lookahead(); got != 0.2 {
+		t.Errorf("Lookahead = %v, want 0.2", got)
+	}
+	if err := e.DeclareLookahead("b", 0.8); err != nil { // re-declare loosens b
+		t.Fatal(err)
+	}
+	if got := e.Lookahead(); got != 0.5 {
+		t.Errorf("Lookahead after re-declare = %v, want 0.5", got)
+	}
+	if err := e.DeclareLookahead("bad", 0); err == nil {
+		t.Error("DeclareLookahead(0) accepted, want error")
+	}
+}

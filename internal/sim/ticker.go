@@ -10,6 +10,7 @@ type Ticker struct {
 	period float64
 	name   string
 	fn     func(now float64)
+	keys   []int // nil for barrier ticks; shard keys for affine ticks
 
 	next    *Event
 	stopped bool
@@ -18,16 +19,38 @@ type Ticker struct {
 // NewTicker schedules fn every period seconds starting at start (absolute
 // virtual time). The callback receives the tick's virtual time.
 func NewTicker(engine *Engine, start, period float64, name string, fn func(now float64)) (*Ticker, error) {
+	return newTicker(engine, start, period, name, nil, fn)
+}
+
+// NewAffineTicker is NewTicker for a callback that integrates only the
+// model state owned by the given shard keys (a per-node telemetry sampler,
+// keyed by its node). Affine ticks do not terminate lookahead windows and
+// their keyed state is prepared concurrently; the publish side of the
+// callback still runs serially like every callback. The ticker keeps the
+// keys slice; callers must not mutate it.
+func NewAffineTicker(engine *Engine, start, period float64, name string, keys []int, fn func(now float64)) (*Ticker, error) {
+	return newTicker(engine, start, period, name, keys, fn)
+}
+
+func newTicker(engine *Engine, start, period float64, name string, keys []int, fn func(now float64)) (*Ticker, error) {
 	if period <= 0 {
 		return nil, fmt.Errorf("sim: ticker %q: period must be positive, got %v", name, period)
 	}
-	t := &Ticker{engine: engine, period: period, name: name, fn: fn}
-	ev, err := engine.ScheduleAt(start, name, t.tick)
+	t := &Ticker{engine: engine, period: period, name: name, keys: keys, fn: fn}
+	ev, err := t.schedule(start)
 	if err != nil {
 		return nil, err
 	}
 	t.next = ev
 	return t, nil
+}
+
+// schedule registers the next tick at absolute time at, keyed when affine.
+func (t *Ticker) schedule(at float64) (*Event, error) {
+	if t.keys != nil {
+		return t.engine.ScheduleAtAffine(at, t.name, t.keys, t.tick)
+	}
+	return t.engine.ScheduleAt(at, t.name, t.tick)
 }
 
 // Stop cancels future ticks. Safe to call multiple times.
@@ -47,7 +70,7 @@ func (t *Ticker) tick(e *Engine) {
 	if t.stopped { // fn may have called Stop
 		return
 	}
-	ev, err := e.ScheduleAfter(t.period, t.name, t.tick)
+	ev, err := t.schedule(e.Now() + t.period)
 	if err != nil {
 		// Unreachable: period is validated positive and now only advances.
 		panic(fmt.Sprintf("sim: ticker %q reschedule: %v", t.name, err))

@@ -18,6 +18,17 @@ type NodeOps interface {
 	ClearWorkloadOn(hosts []string)
 }
 
+// NodeKeyer is optionally implemented by a NodeOps to map hostnames to
+// engine shard keys (the cluster facade implements it). When available,
+// phase transitions are scheduled as affine events keyed by the
+// allocation, so a sharded engine can prepare the hosts' physics
+// concurrently instead of terminating its lookahead window. Without it
+// (test recorders), transitions stay plain barrier events — slower under
+// sharding, never less correct.
+type NodeKeyer interface {
+	NodeKeys(hosts []string) []int
+}
+
 // ExecOptions tunes a phased execution.
 type ExecOptions struct {
 	// FixedActivity disables phase interleaving: the job runs at the
@@ -36,6 +47,7 @@ type Execution struct {
 	hosts  []string
 	opts   ExecOptions
 
+	keys    []int // shard keys for the allocation; nil when ops can't map
 	phase   int
 	next    *sim.Event
 	stopped bool
@@ -52,6 +64,24 @@ func Start(engine *sim.Engine, ops NodeOps, m *Model, hosts []string, opts ExecO
 		return nil, fmt.Errorf("workload: Start needs an engine, node ops and a model")
 	}
 	ex := &Execution{engine: engine, ops: ops, model: m, hosts: append([]string(nil), hosts...), opts: opts}
+	if keyer, ok := ops.(NodeKeyer); ok {
+		ex.keys = keyer.NodeKeys(ex.hosts)
+	}
+	if len(m.Phases) > 1 && !opts.FixedActivity {
+		// Declare the model's phase cadence as a cross-shard edge: the
+		// shortest phase bounds how soon this execution can next mutate
+		// shared node state. Phase durations (tens of seconds) are far
+		// above the cluster's integration step, so this never binds the
+		// window span in practice — it is the declaration that matters
+		// for anyone auditing the engine's lookahead inputs.
+		min := m.Phases[0].Seconds
+		for _, p := range m.Phases[1:] {
+			if p.Seconds < min {
+				min = p.Seconds
+			}
+		}
+		engine.DeclareLookahead("workload."+m.Name, min)
+	}
 	if opts.FixedActivity || len(m.Phases) <= 1 {
 		act, label := m.Steady, m.Name
 		if !opts.FixedActivity && len(m.Phases) == 1 {
@@ -77,10 +107,20 @@ func (ex *Execution) install(i int, first bool) error {
 	if first && err != nil {
 		return err
 	}
-	ev, serr := ex.engine.ScheduleAfter(p.Seconds, "workload.phase("+ex.model.Name+")", func(*sim.Engine) {
+	fn := func(*sim.Engine) {
 		ex.next = nil
 		_ = ex.install((ex.phase+1)%len(ex.model.Phases), false)
-	})
+	}
+	// A phase transition only re-drives the nodes of its own allocation,
+	// so with shard keys in hand it is affine: a sharded engine prefetches
+	// the allocation's physics instead of closing the window.
+	var ev *sim.Event
+	var serr error
+	if ex.keys != nil {
+		ev, serr = ex.engine.ScheduleAfterAffine(p.Seconds, "workload.phase("+ex.model.Name+")", ex.keys, fn)
+	} else {
+		ev, serr = ex.engine.ScheduleAfter(p.Seconds, "workload.phase("+ex.model.Name+")", fn)
+	}
 	if serr != nil {
 		// Unreachable: phase durations are validated positive.
 		panic(fmt.Sprintf("workload: schedule phase: %v", serr))
