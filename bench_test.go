@@ -19,6 +19,7 @@ import (
 	"montecimone/internal/cluster"
 	"montecimone/internal/core"
 	"montecimone/internal/examon"
+	"montecimone/internal/fault"
 	"montecimone/internal/hpl"
 	"montecimone/internal/mpi"
 	"montecimone/internal/netsim"
@@ -747,6 +748,41 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 				runSpec(b, spec)
 			})
 		}
+	}
+	// Chaos cases: the same phased campaign with the fault subsystem armed
+	// — crash/reboot cycles, thermal runaway injections, a network window,
+	// stragglers, requeue + checkpoint — pricing the fault timeline, the
+	// trip/repair machinery and the requeue path on top of the co-sim.
+	// Faulted campaigns may legitimately leave retried work unfinished at
+	// the horizon, so unlike runSpec these cases report (not assert) the
+	// completed-job drain rate.
+	runChaos := func(b *testing.B, spec campaign.Spec) {
+		completed := 0
+		for i := 0; i < b.N; i++ {
+			res, err := campaign.Run(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Fault == nil {
+				b.Fatal("fault stats missing from chaos campaign result")
+			}
+			completed += res.EndStates[sched.StateCompleted]
+		}
+		b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "jobs/s")
+	}
+	for _, nodes := range []int{64, 512} {
+		nodes := nodes
+		b.Run(fmt.Sprintf("chaos/%dnodes", nodes), func(b *testing.B) {
+			spec := mkSpec(nodes, false)
+			spec.Faults = &fault.Spec{
+				Crash:      &fault.Crash{MTBFHours: 6, RebootS: 120},
+				Thermal:    &fault.Thermal{Injections: nodes / 16, ExtraRthKW: 7, ExtraAirC: 20, RepairS: 300},
+				Network:    []fault.NetWindow{{StartS: 4000, DurationS: 2000, LatencyMult: 8, BandwidthMult: 0.25}},
+				Stragglers: &fault.Stragglers{Count: nodes / 32, Slowdown: 1.3},
+				Checkpoint: true, CheckpointS: 300,
+			}
+			runChaos(b, spec)
+		})
 	}
 }
 

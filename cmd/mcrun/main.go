@@ -6,14 +6,18 @@
 //	mcrun -experiment table1|table2|table3|table4|table5|table6|
 //	                  fig2|fig3|fig4|fig5|fig6|
 //	                  hpl-efficiency|stream-efficiency|qe-lax|infiniband|
-//	                  decomposition|campaign|all
+//	                  decomposition|campaign|chaos|all
 //	      [-seed N] [-workload hpl|stream.ddr|stream.l2|qe|idle] [-shards N]
 //
 // The campaign experiment runs the demo batch campaign end to end and
 // prints its report; -shards selects the engine's parallel
 // event-preparation width for it (0 = GOMAXPROCS, output is byte-identical
-// at any width). It is not part of -experiment all, which regenerates the
-// paper artifacts byte-for-byte.
+// at any width). The chaos experiment runs the same job mix under the
+// standard fault storm — crash/reboot cycles, thermal runaway to the
+// 107 degC trip, brownout budget steps, network degradation, a straggler —
+// with requeue and checkpoint/restart on, and prints the availability
+// report. Neither is part of -experiment all, which regenerates the paper
+// artifacts byte-for-byte.
 package main
 
 import (
@@ -77,6 +81,9 @@ func run(w io.Writer, experiment string, seed int64, workload string, shards int
 	if experiment == "campaign" {
 		return runCampaign(w, seed, shards)
 	}
+	if experiment == "chaos" {
+		return runChaos(w, seed, shards)
+	}
 	if experiment == "all" {
 		order := []string{
 			"table1", "table2", "table3", "table4", "table5", "table6",
@@ -108,6 +115,21 @@ func run(w io.Writer, experiment string, seed int64, workload string, shards int
 // and this experiment exists to exercise the sharded engine path.
 func runCampaign(w io.Writer, seed int64, shards int) error {
 	spec := campaign.DefaultSpec(8, "easy", true, 0)
+	spec.Seed = seed
+	spec.Shards = shards
+	res, err := campaign.Run(spec)
+	if err != nil {
+		return err
+	}
+	return res.WriteReport(w)
+}
+
+// runChaos executes the standard chaos campaign — the demo job mix with
+// every fault class armed, requeueing and checkpointing on — and prints
+// the availability report. Like campaign, deliberately NOT part of "all":
+// the "all" output is the byte-diffed paper-artifact regeneration.
+func runChaos(w io.Writer, seed int64, shards int) error {
+	spec := campaign.ChaosSpec(8, "easy", 40)
 	spec.Seed = seed
 	spec.Shards = shards
 	res, err := campaign.Run(spec)

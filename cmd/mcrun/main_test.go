@@ -67,6 +67,27 @@ func TestRunCampaignExperimentSharded(t *testing.T) {
 	}
 }
 
+// The chaos experiment must render the availability report (fault stats,
+// availability/goodput line) and stay byte-identical at any shard count.
+func TestRunChaosExperimentSharded(t *testing.T) {
+	render := func(shards int) string {
+		var sb strings.Builder
+		if err := run(&sb, "chaos", 1, "hpl", shards); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	serial := render(1)
+	for _, want := range []string{"campaign \"chaos-standard\"", "faults:", "availability"} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("chaos report missing %q:\n%s", want, serial)
+		}
+	}
+	if got := render(4); got != serial {
+		t.Errorf("chaos output diverges at 4 shards:\n--- serial\n%s\n--- sharded\n%s", serial, got)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
 	if err := run(&sb, "table99", 1, "hpl", 1); err == nil {

@@ -11,7 +11,15 @@
 // Usage:
 //
 //	mcsched [-nodes N] [-mitigated] [-policy fifo|easy|sjf|bestfit|powercap]
-//	        [-budget-w W] [-campaign spec.json] [-events] [-shards N]
+//	        [-budget-w W] [-campaign spec.json] [-events] [-no-faults] [-shards N]
+//
+// A spec with a "faults" block runs as a chaos campaign: a deterministic,
+// seeded fault timeline (node crashes, thermal runaways, brownouts,
+// network degradation, stragglers) plays against the machine, NODE_FAIL
+// jobs requeue with optional checkpoint/restart, and the report gains
+// availability, goodput, retry and MTTR columns. -no-faults strips the
+// block — the ablation that reproduces the fault-free report byte for
+// byte.
 //
 // -shards selects the engine's parallel event-preparation width (0 means
 // one shard per available CPU); any value produces byte-identical output,
@@ -48,6 +56,7 @@ func main() {
 	budgetW := flag.Float64("budget-w", 0, "cluster power budget in watts (0 disables the power plane)")
 	campaignPath := flag.String("campaign", "", "run this JSON campaign spec instead of the demo campaign")
 	events := flag.Bool("events", false, "print the campaign event log after the report (with -campaign)")
+	noFaults := flag.Bool("no-faults", false, "strip the spec's fault block (chaos ablation, with -campaign)")
 	shards := flag.Int("shards", 1, "engine shard count for parallel event preparation (0 = GOMAXPROCS)")
 	backfill := flag.Bool("backfill", true, "deprecated: -backfill=false is an alias for -policy fifo")
 	flag.Parse()
@@ -69,7 +78,7 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	var err error
 	if *campaignPath != "" {
-		err = runSpecFile(os.Stdout, *campaignPath, set, *nodes, *mitigated, *policy, *budgetW, *shards, *events)
+		err = runSpecFile(os.Stdout, *campaignPath, set, *nodes, *mitigated, *policy, *budgetW, *shards, *events, *noFaults)
 	} else {
 		err = run(os.Stdout, *nodes, *mitigated, *policy, *budgetW, *shards)
 	}
@@ -81,10 +90,15 @@ func main() {
 
 // runSpecFile loads a campaign spec, applies explicit flag overrides and
 // runs it end to end, printing the report (and optionally the event log).
-func runSpecFile(w io.Writer, path string, set map[string]bool, nodes int, mitigated bool, policy string, budgetW float64, shards int, events bool) error {
+func runSpecFile(w io.Writer, path string, set map[string]bool, nodes int, mitigated bool, policy string, budgetW float64, shards int, events, noFaults bool) error {
 	spec, err := campaign.Load(path)
 	if err != nil {
 		return err
+	}
+	if noFaults {
+		// The chaos ablation: the same campaign with the fault subsystem
+		// fully disarmed renders the exact pre-fault report format.
+		spec.Faults = nil
 	}
 	if set["nodes"] {
 		spec.Nodes = nodes

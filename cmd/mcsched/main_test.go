@@ -102,7 +102,7 @@ func TestUnknownPolicyRejected(t *testing.T) {
 func TestCampaignSpecRun(t *testing.T) {
 	var sb strings.Builder
 	err := runSpecFile(&sb, "../../internal/campaign/testdata/smoke.json",
-		map[string]bool{"policy": true}, 8, false, "bestfit", 0, 1, true)
+		map[string]bool{"policy": true}, 8, false, "bestfit", 0, 1, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,28 @@ func TestCampaignSpecRun(t *testing.T) {
 // A missing or malformed spec must fail loudly.
 func TestCampaignSpecErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := runSpecFile(&sb, "no-such-spec.json", nil, 8, false, "easy", 0, 1, false); err == nil {
+	if err := runSpecFile(&sb, "no-such-spec.json", nil, 8, false, "easy", 0, 1, false, false); err == nil {
 		t.Error("missing spec accepted")
+	}
+}
+
+// -no-faults must strip the chaos spec's fault block: same spec, no fault
+// lines, no availability block — the report renders in the pre-fault
+// format.
+func TestCampaignNoFaultsAblation(t *testing.T) {
+	var sb strings.Builder
+	err := runSpecFile(&sb, "../../internal/campaign/testdata/chaos.json",
+		nil, 8, false, "easy", 0, 1, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `campaign "chaos-smoke"`) {
+		t.Fatalf("missing report:\n%s", out)
+	}
+	for _, banned := range []string{"fault  ", "availability", "Retries", "end states:", "requeue"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("-no-faults output still renders %q", banned)
+		}
 	}
 }

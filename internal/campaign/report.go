@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"montecimone/internal/fault"
 	"montecimone/internal/powerplane"
 	"montecimone/internal/report"
 	"montecimone/internal/sched"
@@ -26,20 +27,41 @@ type Result struct {
 	MeanRunS                                float64 // over finished jobs
 	UtilizationPct                          float64 // node-seconds used / (nodes x horizon)
 	PerWorkload                             map[string]int
+	// EndStates is the per-job end-state breakdown (final attempt's state
+	// per entry). Always computed; rendered only for fault campaigns.
+	EndStates map[sched.JobState]int
+
+	// Fault-campaign aggregates (meaningful when Fault != nil):
+	// availability is up-node-time over the whole machine-horizon, goodput
+	// the completed jobs' nominal node-seconds over every node-second any
+	// attempt consumed, Requeues the NODE_FAIL requeues across all jobs.
+	AvailabilityPct float64
+	GoodputPct      float64
+	Requeues        int
 
 	// Telemetry and power plane, when the spec enabled them.
 	BrokerMessages uint64
 	StoredSeries   int
 	Plane          *powerplane.Snapshot
+	// Fault holds the fault controller's accounting for chaos campaigns.
+	Fault *fault.Stats
 }
 
 // aggregate derives the summary numbers from the job rows.
 func (r *Result) aggregate() {
 	r.PerWorkload = make(map[string]int)
+	r.EndStates = make(map[sched.JobState]int)
 	var waitSum, runSum, nodeSeconds float64
+	var usefulNodeS, usedNodeS float64
 	started, ran := 0, 0
 	for _, j := range r.Jobs {
 		r.PerWorkload[j.Workload]++
+		r.EndStates[j.State]++
+		r.Requeues += j.Requeues
+		usedNodeS += j.UsedNodeS
+		if j.State == sched.StateCompleted {
+			usefulNodeS += float64(j.Nodes) * j.DurationS
+		}
 		switch j.State {
 		case sched.StateCompleted:
 			r.Completed++
@@ -77,6 +99,15 @@ func (r *Result) aggregate() {
 	if r.Spec.Nodes > 0 && r.Spec.HorizonS > 0 {
 		r.UtilizationPct = 100 * nodeSeconds / (float64(r.Spec.Nodes) * r.Spec.HorizonS)
 	}
+	if r.Fault != nil {
+		machineNodeS := float64(r.Spec.Nodes) * r.Spec.HorizonS
+		if machineNodeS > 0 {
+			r.AvailabilityPct = 100 * (1 - r.Fault.DownNodeS/machineNodeS)
+		}
+		if usedNodeS > 0 {
+			r.GoodputPct = 100 * usefulNodeS / usedNodeS
+		}
+	}
 }
 
 // WriteReport renders the per-campaign report: header, aggregate block,
@@ -102,6 +133,18 @@ func (r *Result) WriteReport(w io.Writer) error {
 	fmt.Fprintf(w, "workload execution: %s\n", mode)
 	fmt.Fprintf(w, "jobs: %d total, %d completed, %d failed, %d timeout, %d unfinished at horizon\n",
 		len(r.Jobs), r.Completed, r.Failed, r.TimedOut, r.Unfinished)
+	if s.Faults != nil {
+		// Per-job end-state breakdown in a fixed state order (states with
+		// zero jobs are skipped so short campaigns stay readable).
+		fmt.Fprint(w, "end states:")
+		for _, st := range []sched.JobState{sched.StateCompleted, sched.StateNodeFail,
+			sched.StateTimeout, sched.StateCancelled, sched.StateRunning, sched.StatePending} {
+			if n := r.EndStates[st]; n > 0 {
+				fmt.Fprintf(w, " %s=%d", st, n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintf(w, "makespan %.1f s, mean wait %.1f s, mean runtime %.1f s, utilization %.1f%%\n",
 		r.MakespanS, r.MeanWaitS, r.MeanRunS, r.UtilizationPct)
 	names := make([]string, 0, len(r.PerWorkload))
@@ -121,10 +164,24 @@ func (r *Result) WriteReport(w io.Writer) error {
 		fmt.Fprintf(w, "power plane: budget %.1f W, draw %.1f W, headroom %.1f W, %d node(s) throttled\n",
 			r.Plane.BudgetW, r.Plane.DrawW, r.Plane.HeadroomW, r.Plane.ThrottledNodes)
 	}
-	tbl := &report.Table{Headers: []string{"Job", "Workload", "Nodes", "Submit", "Start", "End", "State"}}
+	if f := r.Fault; f != nil {
+		fmt.Fprintf(w, "faults: crashes=%d thermal=%d/%d power_steps=%d net_windows=%d stragglers=%d\n",
+			f.Crashes, f.Trips, f.ThermalInjects, f.PowerSteps, f.NetWindows, f.StragglerNodes)
+		fmt.Fprintf(w, "availability %.2f%%, goodput %.1f%%, requeues %d, repairs %d, mttr %.1f s\n",
+			r.AvailabilityPct, r.GoodputPct, r.Requeues, f.Repairs, f.MTTRS)
+	}
+	headers := []string{"Job", "Workload", "Nodes", "Submit", "Start", "End", "State"}
+	if s.Faults != nil {
+		headers = append(headers, "Retries")
+	}
+	tbl := &report.Table{Headers: headers}
 	for _, j := range r.Jobs {
-		tbl.AddRow(j.Name, j.Workload, fmt.Sprintf("%d", j.Nodes),
-			fmt.Sprintf("%.1f", j.SubmitS), fmtRel(j.StartS), fmtRel(j.EndS), string(j.State))
+		row := []string{j.Name, j.Workload, fmt.Sprintf("%d", j.Nodes),
+			fmt.Sprintf("%.1f", j.SubmitS), fmtRel(j.StartS), fmtRel(j.EndS), string(j.State)}
+		if s.Faults != nil {
+			row = append(row, fmt.Sprintf("%d", j.Requeues))
+		}
+		tbl.AddRow(row...)
 	}
 	return tbl.Write(w)
 }

@@ -5,6 +5,7 @@ import (
 
 	"montecimone/internal/cluster"
 	"montecimone/internal/core"
+	"montecimone/internal/fault"
 	"montecimone/internal/sched"
 	"montecimone/internal/sim"
 	"montecimone/internal/workload"
@@ -18,10 +19,21 @@ type JobOutcome struct {
 	Workload string
 	Nodes    int
 	SubmitS  float64
-	StartS   float64 // -1 if the job never started
+	StartS   float64 // -1 if the job never started (last attempt under faults)
 	EndS     float64 // -1 if the job never ended
 	State    sched.JobState
 	Hosts    []string
+
+	// DurationS is the entry's nominal modelled execution time (the useful
+	// work the job represents when it completes).
+	DurationS float64
+	// Requeues counts NODE_FAIL requeues consumed; DoneS is the
+	// checkpointed progress surviving the last failure; UsedNodeS
+	// accumulates node-seconds across every attempt. All three stay zero
+	// without a fault block.
+	Requeues  int
+	DoneS     float64
+	UsedNodeS float64
 }
 
 // Runner drives one campaign through the full testbed. Build with
@@ -36,6 +48,7 @@ type Runner struct {
 	outcomes []*JobOutcome
 	events   []string
 	execs    map[int]*workload.Execution // by scheduler job id
+	ctrl     *fault.Controller           // nil without a fault block
 }
 
 // NewRunner validates and expands the spec, boots the system (applying
@@ -71,11 +84,30 @@ func NewRunner(spec Spec) (*Runner, error) {
 		}
 	}
 	r.startT = sys.Engine.Now()
+	if spec.Faults != nil {
+		ctrl, err := fault.NewController(fault.Config{
+			Engine: sys.Engine, Cluster: sys.Cluster, Sched: sys.Scheduler, Plane: sys.Plane,
+			Spec: spec.Faults, RNG: sim.NewRNG(spec.Seed),
+			StartT: r.startT, HorizonS: spec.HorizonS,
+			Logf: r.logf,
+		})
+		if err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		if err := ctrl.Arm(); err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		sys.Scheduler.SetRuntimeScaler(ctrl.Slowdown)
+		r.ctrl = ctrl
+	}
 	for i := range jobs {
 		entry := jobs[i]
 		out := &JobOutcome{
 			Name: entry.Name, Workload: entry.Workload, Nodes: entry.Nodes,
 			SubmitS: entry.SubmitS, StartS: -1, EndS: -1, State: sched.StatePending,
+			DurationS: entry.DurationS,
 		}
 		r.outcomes = append(r.outcomes, out)
 		if _, err := sys.Engine.ScheduleAt(r.startT+entry.SubmitS, "campaign.submit("+entry.Name+")",
@@ -100,7 +132,7 @@ func (r *Runner) submit(entry JobEntry, out *JobOutcome) {
 			out.Hosts = append([]string(nil), hosts...)
 			r.logf("t=%10.1f start  %-18s job=%-4d nodes=%d hosts=%v", out.StartS, entry.Name, j.ID, entry.Nodes, hosts)
 			ex, err := workload.Start(r.sys.Engine, r.sys.Cluster, model, hosts,
-				workload.ExecOptions{FixedActivity: r.spec.FixedActivity})
+				workload.ExecOptions{FixedActivity: r.spec.FixedActivity, SlowFactor: j.RuntimeScale()})
 			if err != nil {
 				// A host halted between allocation and start; the node
 				// failure path will surface it.
@@ -112,6 +144,9 @@ func (r *Runner) submit(entry JobEntry, out *JobOutcome) {
 		OnEnd: func(j *sched.Job, state sched.JobState) {
 			out.EndS = r.sys.Engine.Now() - r.startT
 			out.State = state
+			if out.StartS >= 0 && out.EndS > out.StartS {
+				out.UsedNodeS += float64(entry.Nodes) * (out.EndS - out.StartS)
+			}
 			if ex := r.execs[j.ID]; ex != nil {
 				ex.Stop()
 				delete(r.execs, j.ID)
@@ -123,6 +158,35 @@ func (r *Runner) submit(entry JobEntry, out *JobOutcome) {
 			}
 			r.logf("t=%10.1f end    %-18s job=%-4d state=%s", out.EndS, entry.Name, j.ID, state)
 		},
+	}
+	if fs := r.spec.Faults; fs != nil {
+		if enabled, max := fs.Requeue(); enabled {
+			spec.Requeue = true
+			spec.MaxRequeues = max
+			spec.OnRequeue = func(failed *sched.Job, next *sched.JobSpec) {
+				out.Requeues++
+				if fs.Checkpoint {
+					// Progress accrues at nominal speed: a stretched attempt
+					// covers its wall time divided by the stretch. The next
+					// attempt resumes from the last checkpoint at or before
+					// the accumulated progress.
+					scale := failed.RuntimeScale()
+					if scale < 1 {
+						scale = 1
+					}
+					elapsed := (failed.EndTime() - failed.StartTime()) / scale
+					if done := workload.RestartPoint(model, out.DoneS+elapsed, fs.CheckpointS); done > out.DoneS {
+						out.DoneS = done
+					}
+					next.Duration = entry.DurationS - out.DoneS
+					if next.Duration < 0 {
+						next.Duration = 0
+					}
+				}
+				r.logf("t=%10.1f requeue %-17s job=%-4d attempt=%d done=%.1fs",
+					r.sys.Engine.Now()-r.startT, entry.Name, failed.ID, failed.Attempt()+1, out.DoneS)
+			}
+		}
 	}
 	job, err := r.sys.Scheduler.Submit(spec)
 	if err != nil {
@@ -177,6 +241,10 @@ func (r *Runner) Result() *Result {
 	if r.sys.Plane != nil {
 		snap := r.sys.Plane.Snapshot()
 		res.Plane = &snap
+	}
+	if r.ctrl != nil {
+		st := r.ctrl.Stats(r.sys.Engine.Now())
+		res.Fault = &st
 	}
 	res.aggregate()
 	return res

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"montecimone/internal/fault"
 	"montecimone/internal/sched"
 	"montecimone/internal/workload"
 )
@@ -106,6 +107,13 @@ type Spec struct {
 	// run the serial engine; any count produces byte-identical reports and
 	// event logs (sharding is a wall-clock knob, not a model knob).
 	Shards int `json:"shards,omitempty"`
+	// Faults enables the chaos machinery: the block compiles into a
+	// deterministic fault timeline (crashes, thermal runaways, brownouts,
+	// network degradation, stragglers) and switches on NODE_FAIL
+	// requeueing, the checkpoint/restart model and the availability /
+	// goodput / MTTR report columns. nil (faults off) leaves the campaign
+	// byte-identical to a spec without the field — the built-in ablation.
+	Faults *fault.Spec `json:"faults,omitempty"`
 	// Arrival and Mix generate a job stream; Jobs lists an explicit
 	// trace. At least one source must be present.
 	Arrival *Arrival   `json:"arrival,omitempty"`
@@ -162,6 +170,11 @@ func (s *Spec) Validate() error {
 	}
 	if s.Policy != "" {
 		if _, err := sched.PolicyByName(s.Policy); err != nil {
+			return fmt.Errorf("campaign: spec %q: %w", s.Name, err)
+		}
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(s.Nodes, s.HorizonS, s.PowerBudgetW > 0); err != nil {
 			return fmt.Errorf("campaign: spec %q: %w", s.Name, err)
 		}
 	}
@@ -258,4 +271,40 @@ func DefaultSpec(nodes int, policy string, mitigated bool, budgetW float64) Spec
 			{Name: "hpl-half", Workload: "hpl", Nodes: (nodes + 1) / 2, TimeLimitS: 3600, DurationS: 1900},
 		},
 	}
+}
+
+// ChaosSpec is the standard chaos campaign: a Poisson stream of mixed
+// work (weighted toward multi-node HPL, the shape that contends for nodes)
+// run under a fault storm with every class armed — node crash/reboot
+// cycles, thermal runaway injections that drive the 107 degC trip, a
+// mid-run network degradation window, one straggler node and, when a
+// power budget enables the plane, two brownout budget steps. Requeueing
+// and phase-boundary checkpointing are on. mcrun -experiment chaos, the
+// chaosstudy example and the EXPERIMENTS.md availability table all run
+// this spec, so policy comparisons share one fault timeline per seed.
+func ChaosSpec(nodes int, policy string, budgetW float64) Spec {
+	s := DefaultSpec(nodes, policy, true, budgetW)
+	s.Name = "chaos-standard"
+	s.Jobs = nil
+	s.Arrival = &Arrival{Process: ProcessPoisson, RatePerHour: 18, Jobs: 60}
+	s.Mix = []MixEntry{
+		{Workload: "hpl", Weight: 3, NodesMin: 2, NodesMax: nodes, DurationS: 1200},
+		{Workload: "stream.ddr", Weight: 2, NodesMin: 1, NodesMax: 2, DurationS: 300},
+		{Workload: "stream.l2", Weight: 1, DurationS: 300},
+		{Workload: "qe", Weight: 2, DurationS: 40},
+	}
+	s.Faults = &fault.Spec{
+		Crash:      &fault.Crash{MTBFHours: 4, RebootS: 120},
+		Thermal:    &fault.Thermal{Injections: 2, ExtraRthKW: 7, ExtraAirC: 20, RepairS: 300},
+		Network:    []fault.NetWindow{{StartS: 1500, DurationS: 900, LatencyMult: 8, BandwidthMult: 0.25}},
+		Stragglers: &fault.Stragglers{Count: 1, Slowdown: 1.3},
+		Checkpoint: true, CheckpointS: 300,
+	}
+	if budgetW > 0 {
+		s.Faults.PowerSteps = []fault.PowerStep{
+			{AtS: 6000, BudgetW: budgetW * 0.6},
+			{AtS: 9000, BudgetW: budgetW},
+		}
+	}
+	return s
 }

@@ -78,8 +78,8 @@ type Cluster struct {
 	stepPeriod float64
 	lockStep   bool
 	ticker     *sim.Ticker
-	onHalt     func(hostname string)
-	onBoot     func(hostname string)
+	onHalt     []func(hostname string)
+	onBoot     []func(hostname string)
 
 	// Demand-driven mode: one pending watchdog event per node (nil when
 	// the node needs none) plus its precomputed event name.
@@ -203,12 +203,12 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 func (c *Cluster) nodeTransition(nd *node.Node, kind node.Transition) {
 	switch kind {
 	case node.TransitionHalt:
-		if c.onHalt != nil {
-			c.onHalt(nd.Hostname())
+		for _, fn := range c.onHalt {
+			fn(nd.Hostname())
 		}
 	case node.TransitionBootComplete:
-		if c.onBoot != nil {
-			c.onBoot(nd.Hostname())
+		for _, fn := range c.onBoot {
+			fn(nd.Hostname())
 		}
 	}
 	if !c.lockStep {
@@ -361,12 +361,15 @@ func (c *Cluster) Blades() [][]int {
 }
 
 // OnNodeHalt registers a callback fired once per thermal halt (wired to
-// the scheduler's NodeDown by the facade).
-func (c *Cluster) OnNodeHalt(fn func(hostname string)) { c.onHalt = fn }
+// the scheduler's NodeDown by the facade; the fault controller subscribes
+// too). Callbacks fire in registration order.
+func (c *Cluster) OnNodeHalt(fn func(hostname string)) { c.onHalt = append(c.onHalt, fn) }
 
 // OnNodeBoot registers a callback fired when a node finishes booting (the
-// event-driven boot-completion notification BootAndSettle waits on).
-func (c *Cluster) OnNodeBoot(fn func(hostname string)) { c.onBoot = fn }
+// event-driven boot-completion notification BootAndSettle waits on, and
+// the fault controller's recovery path). Callbacks fire in registration
+// order.
+func (c *Cluster) OnNodeBoot(fn func(hostname string)) { c.onBoot = append(c.onBoot, fn) }
 
 // ModelSteps sums the Euler substeps integrated across all nodes — the
 // physics cost the demand-driven mode minimises relative to the LockStep

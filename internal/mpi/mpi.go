@@ -243,7 +243,7 @@ func (p *Proc) Send(dst, tag int, data []float64, bytes float64) error {
 	// copies complete synchronously.
 	lat := 0.0
 	if w.placement[p.rank] != w.placement[dst] {
-		lat = w.fabric.Link().LatencySec
+		lat = w.fabric.LatencySec()
 	}
 	p.clock = arrival - lat
 	p.commTime += p.clock - start

@@ -95,6 +95,13 @@ const (
 type Fabric struct {
 	nodes int
 	link  Link
+
+	// Degradation multipliers (chaos campaigns): latMult >= 1 stretches the
+	// inter-node latency, bwMult in (0,1] shrinks the effective inter-node
+	// bandwidth. Both default to 1 (healthy fabric); intra-node transfers
+	// are unaffected (shared memory does not ride the switch).
+	latMult float64
+	bwMult  float64
 }
 
 // NewFabric builds a fabric of the given node count over one link type.
@@ -105,7 +112,7 @@ func NewFabric(nodes int, link Link) (*Fabric, error) {
 	if link.BandwidthBps <= 0 || link.LatencySec < 0 {
 		return nil, fmt.Errorf("netsim: invalid link %+v", link)
 	}
-	return &Fabric{nodes: nodes, link: link}, nil
+	return &Fabric{nodes: nodes, link: link, latMult: 1, bwMult: 1}, nil
 }
 
 // Nodes returns the node count.
@@ -113,6 +120,30 @@ func (f *Fabric) Nodes() int { return f.nodes }
 
 // Link returns the inter-node link description.
 func (f *Fabric) Link() Link { return f.link }
+
+// SetDegradation installs fault-injection multipliers on the inter-node
+// path: latencyMult >= 1 stretches the one-way latency, bandwidthMult in
+// (0,1] shrinks the effective bandwidth. (1, 1) restores the healthy
+// fabric.
+func (f *Fabric) SetDegradation(latencyMult, bandwidthMult float64) error {
+	if latencyMult < 1 {
+		return fmt.Errorf("netsim: latency multiplier must be >= 1, got %v", latencyMult)
+	}
+	if bandwidthMult <= 0 || bandwidthMult > 1 {
+		return fmt.Errorf("netsim: bandwidth multiplier must be in (0,1], got %v", bandwidthMult)
+	}
+	f.latMult, f.bwMult = latencyMult, bandwidthMult
+	return nil
+}
+
+// Degradation returns the current (latencyMult, bandwidthMult) pair.
+func (f *Fabric) Degradation() (latencyMult, bandwidthMult float64) {
+	return f.latMult, f.bwMult
+}
+
+// LatencySec returns the effective inter-node one-way latency including any
+// injected degradation; the MPI layer uses it instead of Link().LatencySec.
+func (f *Fabric) LatencySec() float64 { return f.link.LatencySec * f.latMult }
 
 // TransferTime returns the time for a payload of the given bytes between
 // two nodes (or within one node when srcNode == dstNode). sharing is the
@@ -134,8 +165,8 @@ func (f *Fabric) TransferTime(srcNode, dstNode int, bytes float64, sharing int) 
 	if srcNode == dstNode {
 		return localLatencySec + bytes/localBandwidthBps, nil
 	}
-	bw := f.link.BandwidthBps / float64(sharing)
-	return f.link.LatencySec + bytes/bw, nil
+	bw := f.link.BandwidthBps * f.bwMult / float64(sharing)
+	return f.link.LatencySec*f.latMult + bytes/bw, nil
 }
 
 func (f *Fabric) checkNode(n int) error {

@@ -400,6 +400,26 @@ func (n *Node) SetEnclosure(enc thermal.Enclosure) error {
 	return nil
 }
 
+// InjectThermalFault layers an airflow defect (extra junction-to-air
+// resistance, extra inlet-air rise) onto the node's slot environment,
+// integrating the past under the healthy environment first. Fault
+// campaigns use it to reproduce the node 7 failure mode on demand: a
+// supercritical fault leaves the SoC with no equilibrium below 107 degC
+// and the node walks the genuine runaway-to-trip path.
+func (n *Node) InjectThermalFault(extraRthKW, extraAirRiseC float64) {
+	n.observe()
+	n.tm.InjectAirflowFault(extraRthKW, extraAirRiseC)
+	n.inputsChanged()
+}
+
+// ClearThermalFault removes an injected airflow defect (the repair half of
+// a fault cycle); the trip latch, if engaged, still needs a power cycle.
+func (n *Node) ClearThermalFault() {
+	n.observe()
+	n.tm.ClearAirflowFault()
+	n.inputsChanged()
+}
+
 // Activity returns the current workload activity profile.
 func (n *Node) Activity() power.Activity { return n.act }
 

@@ -346,6 +346,19 @@ func (g *Governor) publish(now float64) {
 // BudgetW returns the configured budget.
 func (g *Governor) BudgetW() float64 { return g.cfg.BudgetW }
 
+// SetBudgetW changes the cluster power budget in place (fault campaigns
+// model brownouts as budget steps). The next control tick measures,
+// redistributes caps and publishes under the new budget; nothing is
+// recomputed eagerly, exactly as a facility-side setpoint change would
+// land between samples of a real governor.
+func (g *Governor) SetBudgetW(w float64) error {
+	if w <= 0 {
+		return fmt.Errorf("powerplane: budget must be positive, got %v W", w)
+	}
+	g.cfg.BudgetW = w
+	return nil
+}
+
 // DrawW returns the last measured total cluster draw.
 func (g *Governor) DrawW() float64 { return g.drawW }
 

@@ -66,6 +66,16 @@ type JobSpec struct {
 	Duration float64
 	// Requeue controls whether a NODE_FAIL puts the job back in the queue.
 	Requeue bool
+	// MaxRequeues bounds how many times a requeued job may return to the
+	// queue after NODE_FAIL; 0 means unbounded (the pre-fault-campaign
+	// behaviour, SLURM's default).
+	MaxRequeues int
+	// OnRequeue runs when a NODE_FAIL puts a clone of the job back in the
+	// queue, before the clone is submitted: failed is the failed attempt,
+	// next the clone's spec, which the callback may mutate (checkpoint /
+	// restart models shorten next.Duration to the work remaining past the
+	// last completed phase).
+	OnRequeue func(failed *Job, next *JobSpec)
 	// Workload is the job's first-class workload model from the registry
 	// (workload.Lookup): power-aware policies predict the job's draw from
 	// its steady activity profile before placing it, and campaign runners
@@ -100,12 +110,23 @@ type Job struct {
 	started   float64
 	ended     float64
 	hosts     []string
+	attempt   int     // 0 for the original submission, +1 per requeue
+	runScale  float64 // runtime stretch applied at start (0 until started)
 	endEvent  *sim.Event
 	release   *releaseEntry
 }
 
 // State returns the job state.
 func (j *Job) State() JobState { return j.state }
+
+// Attempt returns the requeue generation: 0 for the original submission,
+// incremented each time a NODE_FAIL clone re-enters the queue.
+func (j *Job) Attempt() int { return j.attempt }
+
+// RuntimeScale returns the runtime stretch the scheduler's runtime scaler
+// applied when the job started (1 when no scaler is installed; 0 while the
+// job has never started).
+func (j *Job) RuntimeScale() float64 { return j.runScale }
 
 // Hosts returns the allocated hostnames (nil unless running or finished).
 func (j *Job) Hosts() []string { return append([]string(nil), j.hosts...) }
@@ -143,6 +164,11 @@ type Scheduler struct {
 	queue    []*Job // pending, submission order
 	jobs     map[int]*Job
 	nextID   int
+
+	// runtimeScale, when installed (WithRuntimeScaler), stretches each
+	// job's modelled execution time at start: fault campaigns return > 1
+	// for allocations touching straggler nodes or degraded-network windows.
+	runtimeScale func(job *Job, hosts []string) float64
 }
 
 // New builds a scheduler over the given hostnames. The default policy is
@@ -254,10 +280,16 @@ func (s *Scheduler) NodeDown(host string) error {
 	ni.jobID = 0
 	if victim != 0 {
 		job := s.jobs[victim]
-		requeue := job.Spec.Requeue
+		requeue := job.Spec.Requeue &&
+			(job.Spec.MaxRequeues <= 0 || job.attempt < job.Spec.MaxRequeues)
 		s.endJob(job, StateNodeFail)
 		if requeue {
-			clone := &Job{ID: s.nextID, Spec: job.Spec, state: StatePending, submitted: s.engine.Now()}
+			spec := job.Spec
+			if spec.OnRequeue != nil {
+				spec.OnRequeue(job, &spec)
+			}
+			clone := &Job{ID: s.nextID, Spec: spec, state: StatePending,
+				submitted: s.engine.Now(), attempt: job.attempt + 1}
 			s.nextID++
 			s.jobs[clone.ID] = clone
 			s.queue = append(s.queue, clone)
@@ -477,7 +509,13 @@ func (s *Scheduler) start(job *Job, hosts []string) {
 		// Reserve the predicted draw until the plane's measurements see it.
 		s.advisor.NotePlacement(job.Spec.Activity(), job.Spec.Nodes)
 	}
-	runFor := job.Spec.Duration
+	job.runScale = 1
+	if s.runtimeScale != nil {
+		if scale := s.runtimeScale(job, job.hosts); scale > 1 {
+			job.runScale = scale
+		}
+	}
+	runFor := job.Spec.Duration * job.runScale
 	final := StateCompleted
 	if job.Spec.TimeLimit < runFor {
 		runFor = job.Spec.TimeLimit

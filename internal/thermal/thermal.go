@@ -159,6 +159,14 @@ type Model struct {
 	env  SlotEnv
 	slot int
 
+	// Airflow-fault injection (chaos campaigns): extra junction-to-air
+	// resistance and inlet-air rise layered on top of the slot environment,
+	// modelling a failed fan or a blocked exhaust path. Large enough values
+	// leave the SoC with no equilibrium below the trip point — the same
+	// genuine runaway mechanism the slot of node 7 exhibits under load.
+	faultRthKW    float64
+	faultAirRiseC float64
+
 	cpuC  float64
 	mbC   float64
 	nvmeC float64
@@ -199,6 +207,36 @@ func (m *Model) SetEnclosure(enc Enclosure) error {
 	return nil
 }
 
+// InjectAirflowFault layers an airflow defect onto the slot environment:
+// extraRthKW of junction-to-air resistance and extraAirRiseC of inlet-air
+// rise (a failed fan, a blocked exhaust). The fault shifts every
+// equilibrium the model solves — Step, Steady, TimeToReach and the
+// runaway check all see it — so a sufficiently large fault drives the
+// node through the exact 107 degC trip path the paper observed on node 7.
+// Negative values are clamped to zero.
+func (m *Model) InjectAirflowFault(extraRthKW, extraAirRiseC float64) {
+	if extraRthKW < 0 {
+		extraRthKW = 0
+	}
+	if extraAirRiseC < 0 {
+		extraAirRiseC = 0
+	}
+	m.faultRthKW = extraRthKW
+	m.faultAirRiseC = extraAirRiseC
+}
+
+// ClearAirflowFault removes an injected airflow defect (the repair half of
+// a fault cycle; the node still needs a power cycle to clear the latch).
+func (m *Model) ClearAirflowFault() { m.faultRthKW, m.faultAirRiseC = 0, 0 }
+
+// AirflowFaulted reports whether an airflow fault is currently injected.
+func (m *Model) AirflowFaulted() bool { return m.faultRthKW > 0 || m.faultAirRiseC > 0 }
+
+// airRiseC and rthKW are the effective slot parameters including any
+// injected airflow fault.
+func (m *Model) airRiseC() float64 { return m.env.AirRiseC + m.faultAirRiseC }
+func (m *Model) rthKW() float64    { return m.env.RthKW + m.faultRthKW }
+
 // Step advances the model by dt seconds with the node drawing socW on the
 // SoC rails and nvmeW on the NVMe device. Once the SoC crosses the trip
 // temperature the trip latches and the temperature saturates there (the
@@ -208,10 +246,10 @@ func (m *Model) Step(dt, socW, nvmeW float64) {
 	if dt <= 0 {
 		return
 	}
-	air := m.enc.AmbientC + m.env.AirRiseC
-	cpuSS := air + m.env.RthKW*effectivePower(socW, m.cpuC)
-	mbSS := m.enc.AmbientC + 0.8*m.env.AirRiseC + 1.2*socW
-	nvmeSS := m.enc.AmbientC + 0.5*m.env.AirRiseC + 8.0*nvmeW
+	air := m.enc.AmbientC + m.airRiseC()
+	cpuSS := air + m.rthKW()*effectivePower(socW, m.cpuC)
+	mbSS := m.enc.AmbientC + 0.8*m.airRiseC() + 1.2*socW
+	nvmeSS := m.enc.AmbientC + 0.5*m.airRiseC() + 8.0*nvmeW
 
 	m.cpuC += (cpuSS - m.cpuC) * clampStep(dt/tauCPU)
 	m.mbC += (mbSS - m.mbC) * clampStep(dt/tauMB)
@@ -264,8 +302,8 @@ func (m *Model) Steady(socW, nvmeW float64) (Steady, bool) {
 	cpu, stable := m.SteadyStateCPU(socW)
 	return Steady{
 		CPU:  cpu,
-		MB:   m.enc.AmbientC + 0.8*m.env.AirRiseC + 1.2*socW,
-		NVMe: m.enc.AmbientC + 0.5*m.env.AirRiseC + 8.0*nvmeW,
+		MB:   m.enc.AmbientC + 0.8*m.airRiseC() + 1.2*socW,
+		NVMe: m.enc.AmbientC + 0.5*m.airRiseC() + 8.0*nvmeW,
 	}, stable
 }
 
@@ -316,8 +354,8 @@ func (m *Model) TimeToReach(socW, targetC float64) float64 {
 	if m.cpuC >= targetC {
 		return 0
 	}
-	air := m.enc.AmbientC + m.env.AirRiseC
-	ssBound := air + m.env.RthKW*effectivePower(socW, TripTempC)
+	air := m.enc.AmbientC + m.airRiseC()
+	ssBound := air + m.rthKW()*effectivePower(socW, TripTempC)
 	if ssBound <= targetC {
 		return math.Inf(1)
 	}
@@ -329,10 +367,10 @@ func (m *Model) TimeToReach(socW, targetC float64) float64 {
 // when the slot has no stable equilibrium below the trip point (thermal
 // runaway), in which case the trip temperature is returned.
 func (m *Model) SteadyStateCPU(socW float64) (float64, bool) {
-	air := m.enc.AmbientC + m.env.AirRiseC
+	air := m.enc.AmbientC + m.airRiseC()
 	t := air
 	for i := 0; i < 500; i++ {
-		next := air + m.env.RthKW*effectivePower(socW, t)
+		next := air + m.rthKW()*effectivePower(socW, t)
 		if next >= TripTempC {
 			return TripTempC, false
 		}

@@ -1,0 +1,42 @@
+package workload
+
+import "math"
+
+// Phase-boundary checkpoint/restart model for fault campaigns.
+//
+// A phased workload can checkpoint only where its algorithm has a
+// consistent state to dump: the boundaries of its execution phases (the
+// end of an HPL trailing update, the end of a STREAM sweep). A job killed
+// by NODE_FAIL therefore resumes from the last completed phase boundary,
+// not from the instant the node died. Single-phase models have no natural
+// boundaries; they checkpoint on a fixed wall-clock interval instead (the
+// classic periodic-checkpoint model), and an interval of zero disables
+// checkpointing entirely — the restart repeats the whole run.
+
+// RestartPoint returns how many seconds of nominal (unstretched) progress
+// survive a failure after elapsed seconds of nominal execution: the last
+// phase boundary at or before elapsed for phased models, the last
+// intervalS multiple for single-phase models (0 when intervalS is not
+// positive — no checkpointing). The result is always in [0, elapsed].
+func RestartPoint(m *Model, elapsed, intervalS float64) float64 {
+	if m == nil || elapsed <= 0 {
+		return 0
+	}
+	cycle := m.CycleSeconds()
+	if cycle == 0 {
+		if intervalS <= 0 {
+			return 0
+		}
+		return math.Floor(elapsed/intervalS) * intervalS
+	}
+	// Whole cycles survive outright; within the tail cycle, walk the phase
+	// boundaries while they fit.
+	done := math.Floor(elapsed/cycle) * cycle
+	for _, p := range m.Phases {
+		if done+p.Seconds > elapsed {
+			break
+		}
+		done += p.Seconds
+	}
+	return done
+}

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"testing"
+
+	"montecimone/internal/power"
+)
+
+func phasedModel() *Model {
+	return &Model{
+		Name: "test.phased",
+		Phases: []Phase{
+			{Name: "a", Seconds: 30, Activity: power.Activity{}},
+			{Name: "b", Seconds: 70, Activity: power.Activity{}},
+		},
+	}
+}
+
+func TestRestartPointPhased(t *testing.T) {
+	m := phasedModel() // 100 s cycle with boundaries at 30 and 100
+	cases := []struct{ elapsed, want float64 }{
+		{0, 0},
+		{10, 0},     // inside phase a: nothing completed
+		{30, 30},    // exactly the a/b boundary
+		{99, 30},    // inside phase b
+		{100, 100},  // one whole cycle
+		{250, 230},  // 2 cycles + phase a
+		{300, 300},   // exact cycle multiple
+		{329.9, 300}, // tail inside phase a of cycle 4
+	}
+	for _, c := range cases {
+		if got := RestartPoint(m, c.elapsed, 0); got != c.want {
+			t.Errorf("RestartPoint(phased, %.1f) = %.1f, want %.1f", c.elapsed, got, c.want)
+		}
+	}
+}
+
+func TestRestartPointSinglePhaseInterval(t *testing.T) {
+	m := &Model{Name: "test.flat", Phases: []Phase{{Name: "only", Seconds: 50}}}
+	if got := RestartPoint(m, 130, 40); got != 120 {
+		t.Errorf("interval restart = %.1f, want 120", got)
+	}
+	if got := RestartPoint(m, 130, 0); got != 0 {
+		t.Errorf("no-interval restart = %.1f, want 0 (restart from scratch)", got)
+	}
+	if got := RestartPoint(nil, 130, 40); got != 0 {
+		t.Errorf("nil model restart = %.1f, want 0", got)
+	}
+}
+
+// TestRestartPointNeverExceedsElapsed is the safety property the requeue
+// path relies on: resuming can never claim more progress than was made.
+func TestRestartPointNeverExceedsElapsed(t *testing.T) {
+	m := phasedModel()
+	for _, elapsed := range []float64{0.5, 29.99, 30.01, 99.99, 100.01, 1234.5} {
+		if got := RestartPoint(m, elapsed, 0); got > elapsed {
+			t.Errorf("RestartPoint(%.2f) = %.2f exceeds elapsed", elapsed, got)
+		}
+	}
+}

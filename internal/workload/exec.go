@@ -35,6 +35,12 @@ type ExecOptions struct {
 	// model's Steady profile for its whole life (the campaign benchmark's
 	// ablation, and the exact behaviour of the pre-registry code).
 	FixedActivity bool
+	// SlowFactor stretches every phase duration by the given factor
+	// (values <= 1, including the zero value, leave the cadence nominal).
+	// Fault campaigns set it on jobs touching straggler nodes or degraded-
+	// network windows so the phase cycle slows down in step with the
+	// scheduler's stretched job runtime.
+	SlowFactor float64
 }
 
 // Execution is one workload running on an allocation, advancing through
@@ -114,12 +120,16 @@ func (ex *Execution) install(i int, first bool) error {
 	// A phase transition only re-drives the nodes of its own allocation,
 	// so with shard keys in hand it is affine: a sharded engine prefetches
 	// the allocation's physics instead of closing the window.
+	dur := p.Seconds
+	if ex.opts.SlowFactor > 1 {
+		dur *= ex.opts.SlowFactor
+	}
 	var ev *sim.Event
 	var serr error
 	if ex.keys != nil {
-		ev, serr = ex.engine.ScheduleAfterAffine(p.Seconds, "workload.phase("+ex.model.Name+")", ex.keys, fn)
+		ev, serr = ex.engine.ScheduleAfterAffine(dur, "workload.phase("+ex.model.Name+")", ex.keys, fn)
 	} else {
-		ev, serr = ex.engine.ScheduleAfter(p.Seconds, "workload.phase("+ex.model.Name+")", fn)
+		ev, serr = ex.engine.ScheduleAfter(dur, "workload.phase("+ex.model.Name+")", fn)
 	}
 	if serr != nil {
 		// Unreachable: phase durations are validated positive.
