@@ -1,0 +1,82 @@
+// Command benchdiff compares two `go test -bench` output files and prints
+// a benchstat-style old-vs-new table per benchmark and metric (ns/op,
+// B/op, allocs/op and any custom b.ReportMetric units such as jobs/s).
+// Multiple -count runs of the same benchmark are averaged. It is the
+// in-repo replacement for x/perf/cmd/benchstat in the CI bench-smoke job,
+// which compares each run's numbers against the previous run's cached
+// baseline; it is equally usable by hand:
+//
+//	go test -run '^$' -bench . -benchmem | tee new.txt
+//	benchdiff old.txt new.txt
+//
+// With -fail-over P the command exits non-zero if any time/alloc metric
+// (ns/op, B/op, allocs/op — where bigger is worse) regressed by more than
+// P percent, turning the diff into a CI gate; -gate narrows the gating to
+// a comma-separated unit subset (CI gates allocs/op only — allocation
+// counts are deterministic, shared-runner wall times are not).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"montecimone/internal/benchparse"
+)
+
+func main() {
+	failOver := flag.Float64("fail-over", 0,
+		"exit non-zero if a gated metric regressed by more than this percent (0 disables)")
+	gate := flag.String("gate", "",
+		"comma-separated units eligible to gate (default: ns/op, B/op and allocs/op)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-fail-over P] [-gate units] old.txt new.txt")
+		os.Exit(2)
+	}
+	var gateUnits []string
+	if *gate != "" {
+		gateUnits = strings.Split(*gate, ",")
+	}
+	if err := run(os.Stdout, flag.Arg(0), flag.Arg(1), *failOver, gateUnits); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w *os.File, oldPath, newPath string, failOver float64, gateUnits []string) error {
+	oldRuns, err := benchparse.ParseFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newRuns, err := benchparse.ParseFile(newPath)
+	if err != nil {
+		return err
+	}
+	table, regressed := benchparse.Diff(oldRuns, newRuns, failOver, gateUnits...)
+	if len(table) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	names := make([]string, 0, len(table))
+	for name := range table {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s\n", name)
+		for _, row := range table[name] {
+			fmt.Fprintf(w, "  %-12s %14s -> %14s  %s\n",
+				row.Unit, benchparse.FormatValue(row.Old), benchparse.FormatValue(row.New), row.Delta)
+		}
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(w, "\nREGRESSED beyond %.1f%%:\n", failOver)
+		for _, r := range regressed {
+			fmt.Fprintf(w, "  %s\n", r)
+		}
+		return fmt.Errorf("%d metric(s) regressed beyond %.1f%%", len(regressed), failOver)
+	}
+	return nil
+}

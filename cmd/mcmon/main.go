@@ -17,6 +17,10 @@
 // every read (the read-path benchmark ablation: no inverted tag index, no
 // snapshot fan-out, no rollup serving), and -rollup-step tunes the
 // ingest-time rollup bucket width in seconds (0 disables the tiers).
+//
+// When serving, the listener also exposes the standard net/http/pprof
+// endpoints under /debug/pprof/, so the long-lived monitor can be profiled
+// in place (e.g. `go tool pprof host:port/debug/pprof/profile`).
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	_ "net/http/pprof" // live profiling endpoints on the -serve listener
 	"os"
 	"strings"
 
@@ -136,7 +141,14 @@ func run(w io.Writer, nodes int, workloadName string, duration float64, backend,
 		}
 		endpoints += ", /api/v2/powerplane"
 	}
-	fmt.Fprintf(w, "serving ExaMon REST API on %s (%s)\n", serve, endpoints)
-	return http.ListenAndServe(serve, srv)
+	// Serve the REST API alongside the live pprof endpoints: the blank
+	// net/http/pprof import registers its handlers on the default mux, and
+	// the wrapper mux routes /debug/pprof/ there while everything else goes
+	// to the ExaMon server — so a long-lived monitor can be profiled in
+	// place with `go tool pprof host:port/debug/pprof/profile`.
+	mux := http.NewServeMux()
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	mux.Handle("/", srv)
+	fmt.Fprintf(w, "serving ExaMon REST API on %s (%s; pprof on /debug/pprof/)\n", serve, endpoints)
+	return http.ListenAndServe(serve, mux)
 }
-

@@ -8,6 +8,7 @@
 //	                  hpl-efficiency|stream-efficiency|qe-lax|infiniband|
 //	                  decomposition|campaign|chaos|all
 //	      [-seed N] [-workload hpl|stream.ddr|stream.l2|qe|idle] [-shards N]
+//	      [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // The campaign experiment runs the demo batch campaign end to end and
 // prints its report; -shards selects the engine's parallel
@@ -30,6 +31,7 @@ import (
 	"montecimone/internal/campaign"
 	"montecimone/internal/core"
 	"montecimone/internal/power"
+	"montecimone/internal/profiling"
 	"montecimone/internal/report"
 )
 
@@ -38,7 +40,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic noise seed")
 	workload := flag.String("workload", "hpl", "workload for fig3 traces")
 	shards := flag.Int("shards", 1, "engine shard count for the campaign experiment (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcrun:", err)
+		os.Exit(1)
+	}
 	if *shards < 0 {
 		fmt.Fprintf(os.Stderr, "mcrun: -shards must be >= 0, got %d\n", *shards)
 		os.Exit(1)
@@ -46,7 +55,11 @@ func main() {
 	if *shards == 0 {
 		*shards = runtime.GOMAXPROCS(0)
 	}
-	if err := run(os.Stdout, *experiment, *seed, *workload, *shards); err != nil {
+	err = run(os.Stdout, *experiment, *seed, *workload, *shards)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcrun:", err)
 		os.Exit(1)
 	}

@@ -12,6 +12,10 @@
 //
 //	mcsched [-nodes N] [-mitigated] [-policy fifo|easy|sjf|bestfit|powercap]
 //	        [-budget-w W] [-campaign spec.json] [-events] [-no-faults] [-shards N]
+//	        [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//
+// -cpuprofile and -memprofile write standard pprof profiles covering the
+// whole run — the measurement harness behind the engine's hot-path work.
 //
 // A spec with a "faults" block runs as a chaos campaign: a deterministic,
 // seeded fault timeline (node crashes, thermal runaways, brownouts,
@@ -45,6 +49,7 @@ import (
 	"strings"
 
 	"montecimone/internal/campaign"
+	"montecimone/internal/profiling"
 	"montecimone/internal/report"
 	"montecimone/internal/sched"
 )
@@ -59,7 +64,14 @@ func main() {
 	noFaults := flag.Bool("no-faults", false, "strip the spec's fault block (chaos ablation, with -campaign)")
 	shards := flag.Int("shards", 1, "engine shard count for parallel event preparation (0 = GOMAXPROCS)")
 	backfill := flag.Bool("backfill", true, "deprecated: -backfill=false is an alias for -policy fifo")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsched:", err)
+		os.Exit(1)
+	}
 	if *shards < 0 {
 		fmt.Fprintf(os.Stderr, "mcsched: -shards must be >= 0, got %d\n", *shards)
 		os.Exit(1)
@@ -76,11 +88,13 @@ func main() {
 	}
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	var err error
 	if *campaignPath != "" {
 		err = runSpecFile(os.Stdout, *campaignPath, set, *nodes, *mitigated, *policy, *budgetW, *shards, *events, *noFaults)
 	} else {
 		err = run(os.Stdout, *nodes, *mitigated, *policy, *budgetW, *shards)
+	}
+	if perr := stopProf(); err == nil {
+		err = perr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcsched:", err)

@@ -1,0 +1,200 @@
+// Package benchparse parses `go test -bench` output and computes
+// benchstat-style old-vs-new comparisons. It exists because the CI bench
+// gate needs a benchmark differ without pulling x/perf into the module:
+// the container builds are offline, so the comparison logic lives in-repo
+// (cmd/benchdiff is the front end).
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Run is one benchmark result line: the benchmark's name (with any
+// GOMAXPROCS -N suffix stripped, so runs from differently sized hosts
+// compare) and its metric values keyed by unit ("ns/op", "B/op",
+// "allocs/op", plus any b.ReportMetric units).
+type Run struct {
+	Name    string
+	Metrics map[string]float64
+}
+
+// benchLine matches a result line: name, iteration count, then
+// value-unit pairs. Go prints names with an optional -GOMAXPROCS suffix.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+var metricPair = regexp.MustCompile(`([-+0-9.eE]+)\s+([^\s]+)`)
+
+// Parse reads benchmark result lines from text, ignoring everything else
+// (goos/pkg headers, PASS trailers).
+func Parse(text string) []Run {
+	var runs []Run
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		run := Run{Name: m[1], Metrics: map[string]float64{}}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			run.Metrics[pair[2]] = v
+		}
+		if len(run.Metrics) > 0 {
+			runs = append(runs, run)
+		}
+	}
+	return runs
+}
+
+// ParseFile is Parse over a file's contents.
+func ParseFile(path string) ([]Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	runs := Parse(string(data))
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("benchparse: no benchmark lines in %s", path)
+	}
+	return runs, nil
+}
+
+// mean averages repeated -count runs of the same benchmark per unit.
+func mean(runs []Run) map[string]map[string]float64 {
+	sums := map[string]map[string]float64{}
+	counts := map[string]map[string]int{}
+	for _, r := range runs {
+		if sums[r.Name] == nil {
+			sums[r.Name] = map[string]float64{}
+			counts[r.Name] = map[string]int{}
+		}
+		for unit, v := range r.Metrics {
+			sums[r.Name][unit] += v
+			counts[r.Name][unit]++
+		}
+	}
+	for name, units := range sums {
+		for unit := range units {
+			units[unit] /= float64(counts[name][unit])
+		}
+	}
+	return sums
+}
+
+// Row is one metric's comparison inside a benchmark's diff table.
+type Row struct {
+	Unit     string
+	Old, New float64
+	Delta    string // rendered percentage, or "~" for a tiny change
+}
+
+// unitRank orders a diff table the way benchstat does: time first, then
+// the allocator columns, then custom metrics alphabetically.
+func unitRank(unit string) int {
+	switch unit {
+	case "ns/op":
+		return 0
+	case "B/op":
+		return 1
+	case "allocs/op":
+		return 2
+	}
+	return 3
+}
+
+// biggerIsWorse reports whether a regression in this unit means the value
+// went UP. Custom throughput metrics (jobs/s, samples/s) are
+// bigger-is-better and never gate; the allocator and time columns gate.
+func biggerIsWorse(unit string) bool {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return true
+	}
+	return false
+}
+
+// Diff compares averaged old and new runs. It returns one ordered row set
+// per benchmark present in BOTH inputs and, if failOver > 0, the list of
+// "name unit: +P%" strings for time/alloc metrics that regressed beyond
+// failOver percent. gateUnits narrows which units may gate (nil gates all
+// bigger-is-worse units); CI gates allocs/op only, because allocation
+// counts are deterministic while 1x wall times on shared runners are not.
+func Diff(oldRuns, newRuns []Run, failOver float64, gateUnits ...string) (map[string][]Row, []string) {
+	oldAvg, newAvg := mean(oldRuns), mean(newRuns)
+	gated := func(unit string) bool {
+		if !biggerIsWorse(unit) {
+			return false
+		}
+		if len(gateUnits) == 0 {
+			return true
+		}
+		for _, g := range gateUnits {
+			if g == unit {
+				return true
+			}
+		}
+		return false
+	}
+	table := map[string][]Row{}
+	var regressed []string
+	for name, newUnits := range newAvg {
+		oldUnits, ok := oldAvg[name]
+		if !ok {
+			continue
+		}
+		var rows []Row
+		for unit, nv := range newUnits {
+			ov, ok := oldUnits[unit]
+			if !ok {
+				continue
+			}
+			delta := "~"
+			var pct float64
+			if ov != 0 {
+				pct = (nv - ov) / ov * 100
+				if pct >= 0.05 || pct <= -0.05 {
+					delta = fmt.Sprintf("%+.1f%%", pct)
+				}
+			} else if nv != 0 {
+				delta = "new"
+			}
+			rows = append(rows, Row{Unit: unit, Old: ov, New: nv, Delta: delta})
+			if failOver > 0 && gated(unit) && pct > failOver {
+				regressed = append(regressed, fmt.Sprintf("%s %s: %+.1f%%", name, unit, pct))
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			ri, rj := unitRank(rows[i].Unit), unitRank(rows[j].Unit)
+			if ri != rj {
+				return ri < rj
+			}
+			return rows[i].Unit < rows[j].Unit
+		})
+		table[name] = rows
+	}
+	sort.Strings(regressed)
+	return table, regressed
+}
+
+// FormatValue renders a metric value compactly (benchstat prints scaled
+// values; plain fixed precision is enough for a smoke diff).
+func FormatValue(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	case v >= 100:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
+}

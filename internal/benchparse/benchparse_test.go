@@ -1,0 +1,89 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const oldText = `goos: linux
+goarch: amd64
+pkg: montecimone
+BenchmarkCampaignThroughput/phased/shards1/512nodes-16         	       1	27529000000 ns/op	        36.7 jobs/s	31866000 B/op	  182000 allocs/op
+BenchmarkCampaignThroughput/phased/shards1/512nodes-16         	       1	27900000000 ns/op	        35.9 jobs/s	31866000 B/op	  182000 allocs/op
+BenchmarkTelemetryIngest/typed/mem/64nodes-16                  	     100	   1200000 ns/op	    500000 samples/s
+PASS
+ok  	montecimone	60.0s
+`
+
+const newText = `BenchmarkCampaignThroughput/phased/shards1/512nodes 	       1	3530000000 ns/op	       290.0 jobs/s	 5423000 B/op	   80286 allocs/op
+BenchmarkTelemetryIngest/typed/mem/64nodes          	     100	   1212000 ns/op	    495000 samples/s
+BenchmarkOnlyInNew                                  	      10	       100 ns/op
+`
+
+func TestParseStripsSuffixAndAverages(t *testing.T) {
+	runs := Parse(oldText)
+	if len(runs) != 3 {
+		t.Fatalf("parsed %d runs, want 3", len(runs))
+	}
+	if runs[0].Name != "BenchmarkCampaignThroughput/phased/shards1/512nodes" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", runs[0].Name)
+	}
+	if got := runs[0].Metrics["allocs/op"]; got != 182000 {
+		t.Fatalf("allocs/op = %v, want 182000", got)
+	}
+	if got := runs[2].Metrics["samples/s"]; got != 500000 {
+		t.Fatalf("custom metric lost: samples/s = %v", got)
+	}
+}
+
+func TestDiffAveragesAndOrdersRows(t *testing.T) {
+	table, regressed := Diff(Parse(oldText), Parse(newText), 0)
+	if len(regressed) != 0 {
+		t.Fatalf("unexpected regressions with gating off: %v", regressed)
+	}
+	if _, ok := table["BenchmarkOnlyInNew"]; ok {
+		t.Fatal("benchmark missing from old side should not be diffed")
+	}
+	rows := table["BenchmarkCampaignThroughput/phased/shards1/512nodes"]
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4: %+v", len(rows), rows)
+	}
+	// benchstat order: ns/op, B/op, allocs/op, then custom units.
+	for i, unit := range []string{"ns/op", "B/op", "allocs/op", "jobs/s"} {
+		if rows[i].Unit != unit {
+			t.Fatalf("row %d unit %q, want %q", i, rows[i].Unit, unit)
+		}
+	}
+	// ns/op old side is the mean of the two -count runs.
+	if want := (27529000000.0 + 27900000000.0) / 2; rows[0].Old != want {
+		t.Fatalf("old ns/op = %v, want averaged %v", rows[0].Old, want)
+	}
+	if !strings.HasPrefix(rows[2].Delta, "-") {
+		t.Fatalf("allocs/op delta should be negative, got %q", rows[2].Delta)
+	}
+}
+
+func TestDiffGatesOnTimeAndAllocRegressions(t *testing.T) {
+	older := `BenchmarkX 	 10	1000 ns/op	 100 B/op	 10 allocs/op	 50.0 jobs/s`
+	newer := `BenchmarkX 	 10	1500 ns/op	 101 B/op	 10 allocs/op	 10.0 jobs/s`
+	_, regressed := Diff(Parse(older), Parse(newer), 10)
+	// ns/op +50% gates; B/op +1% is under the bar; jobs/s collapsing does
+	// not gate (bigger-is-better units are informational).
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "ns/op") {
+		t.Fatalf("regressed = %v, want exactly the ns/op entry", regressed)
+	}
+	_, none := Diff(Parse(older), Parse(newer), 60)
+	if len(none) != 0 {
+		t.Fatalf("threshold above the regression still gated: %v", none)
+	}
+	// Narrowed gating (the CI configuration): allocs/op only, so the ns/op
+	// regression passes and a bigger-is-better unit can never gate.
+	_, narrowed := Diff(Parse(older), Parse(newer), 10, "allocs/op")
+	if len(narrowed) != 0 {
+		t.Fatalf("-gate allocs/op still flagged: %v", narrowed)
+	}
+	_, jobsGate := Diff(Parse(older), Parse(newer), 10, "jobs/s")
+	if len(jobsGate) != 0 {
+		t.Fatalf("bigger-is-better unit gated: %v", jobsGate)
+	}
+}

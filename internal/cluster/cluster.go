@@ -81,10 +81,13 @@ type Cluster struct {
 	onHalt     []func(hostname string)
 	onBoot     []func(hostname string)
 
-	// Demand-driven mode: one pending watchdog event per node (nil when
-	// the node needs none) plus its precomputed event name.
-	watches    []*sim.Event
+	// Demand-driven mode: one pending watchdog handle per node (zero when
+	// the node needs none) plus its precomputed event name and callback —
+	// replanning happens on every input change, so the per-node closure is
+	// built once here rather than per reschedule.
+	watches    []sim.Handle
 	watchNames []string
+	watchFns   []func(*sim.Engine)
 }
 
 // LoginHostname and MasterHostname name the service nodes.
@@ -186,12 +189,18 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 		nd.SetClock(engine.Now)
 	}
 	if !c.lockStep {
-		c.watches = make([]*sim.Event, n)
+		c.watches = make([]sim.Handle, n)
 		c.watchNames = make([]string, n)
+		c.watchFns = make([]func(*sim.Engine), n)
 		for i, nd := range c.nodes {
 			i, nd := i, nd
 			nd.OnInputChange(func() { c.replanWatch(i) })
 			c.watchNames[i] = "cluster.watch." + nd.Hostname()
+			c.watchFns[i] = func(e *sim.Engine) {
+				c.watches[i] = sim.Handle{}
+				nd.SyncTo(e.Now())
+				c.replanWatch(i)
+			}
 		}
 	}
 	return c, nil
@@ -226,10 +235,8 @@ func (c *Cluster) replanWatch(i int) {
 		return
 	}
 	nd := c.nodes[i]
-	if ev := c.watches[i]; ev != nil {
-		ev.Cancel()
-		c.watches[i] = nil
-	}
+	c.watches[i].Cancel()
+	c.watches[i] = sim.Handle{}
 	at := nd.NextDeadline()
 	if math.IsInf(at, 1) {
 		return
@@ -241,11 +248,7 @@ func (c *Cluster) replanWatch(i int) {
 	// integrate a node ACROSS a state transition, whose callbacks (halt ->
 	// scheduler node-down, boot -> boot notification) are cross-shard edges
 	// that must run on the serial loop with the window closed behind them.
-	ev, err := c.engine.ScheduleAt(at, c.watchNames[i], func(e *sim.Engine) {
-		c.watches[i] = nil
-		nd.SyncTo(e.Now())
-		c.replanWatch(i)
-	})
+	ev, err := c.engine.ScheduleAt(at, c.watchNames[i], c.watchFns[i])
 	if err != nil {
 		// Unreachable: at is clamped to now and finite.
 		panic(fmt.Sprintf("cluster: watch %s: %v", c.watchNames[i], err))
@@ -421,11 +424,9 @@ func (c *Cluster) Stop() {
 		c.ticker.Stop()
 		c.ticker = nil
 	}
-	for i, ev := range c.watches {
-		if ev != nil {
-			ev.Cancel()
-			c.watches[i] = nil
-		}
+	for i := range c.watches {
+		c.watches[i].Cancel()
+		c.watches[i] = sim.Handle{}
 	}
 }
 

@@ -30,7 +30,8 @@ type PMUPub struct {
 	cluster string
 
 	ticker *sim.Ticker
-	batch  []Sample // per-tick scratch, reused across samples
+	batch  []Sample     // per-tick scratch, reused across samples
+	events []perf.Event // counters this node exposes, fixed at Start
 }
 
 // NewPMUPub builds the plugin for one node.
@@ -51,6 +52,12 @@ func NewPMUPub(broker *Broker, nd *node.Node, org, cluster string) (*PMUPub, err
 func (p *PMUPub) Start(engine *sim.Engine) error {
 	if p.ticker != nil {
 		return fmt.Errorf("examon: pmu_pub already started on %s", p.node.Hostname())
+	}
+	// The exposed counter set is a boot-time property (the U-Boot HPM
+	// patch), so resolve it once here instead of rebuilding it every tick.
+	p.events = append(p.events[:0], perf.FixedEvents...)
+	if p.node.PMU().HPMEnabled() {
+		p.events = append(p.events, perf.ProgrammableEvents...)
 	}
 	// Affine tick: the sample only integrates this plugin's own node (the
 	// broker publish is serial like every callback), so a sharded engine
@@ -84,17 +91,13 @@ func (p *PMUPub) sample(now float64) {
 		return
 	}
 	pmu := p.node.PMU()
-	events := append([]perf.Event(nil), perf.FixedEvents...)
-	if pmu.HPMEnabled() {
-		events = append(events, perf.ProgrammableEvents...)
-	}
 	// Typed fast path: one batch per node per tick instead of one string
 	// publish per counter per core — nothing is rendered to the Table II
 	// encoding unless a legacy string subscriber is attached.
 	p.batch = p.batch[:0]
 	hostname := p.node.Hostname()
 	for core := 0; core < pmu.Harts(); core++ {
-		for _, ev := range events {
+		for _, ev := range p.events {
 			v, err := pmu.Read(core, ev)
 			if err != nil {
 				continue // disabled counters silently absent, as on the real node
@@ -181,44 +184,31 @@ func (s *StatsPub) sample(now float64) {
 		return
 	}
 	st := s.node.Stats()
-	values := map[string]float64{
-		"load_avg.1m":           st.Load1,
-		"load_avg.5m":           st.Load5,
-		"load_avg.15m":          st.Load15,
-		"io_total.read":         st.IORead,
-		"io_total.writ":         st.IOWrite,
-		"procs.run":             st.ProcsRun,
-		"procs.blk":             st.ProcsBlk,
-		"procs.new":             st.ProcsNew,
-		"memory_usage.used":     st.MemUsed,
-		"memory_usage.free":     st.MemFree,
-		"memory_usage.buff":     st.MemBuff,
-		"memory_usage.cach":     st.MemCach,
-		"paging.in":             st.PagingIn,
-		"paging.out":            st.PagingOut,
-		"dsk_total.read":        st.DiskRead,
-		"dsk_total.writ":        st.DiskWrite,
-		"system.int":            st.SystemInt,
-		"system.csw":            st.SystemCsw,
-		"total_cpu_usage.usr":   st.CPUUsr,
-		"total_cpu_usage.sys":   st.CPUSys,
-		"total_cpu_usage.idl":   st.CPUIdl,
-		"total_cpu_usage.wai":   st.CPUWai,
-		"total_cpu_usage.stl":   st.CPUStl,
-		"net_total.recv":        st.NetRecv,
-		"net_total.send":        st.NetSend,
-		"temperature.mb_temp":   st.TempMB,
-		"temperature.cpu_temp":  st.TempCPU,
-		"temperature.nvme_temp": st.TempNVMe,
+	// values is aligned index-for-index with StatsMetrics (Table III
+	// order); the array literal lives on the stack, so a tick builds the
+	// batch without the string-keyed map the historical implementation
+	// hashed 28 times per sample.
+	values := [...]float64{
+		st.Load1, st.Load5, st.Load15,
+		st.IORead, st.IOWrite,
+		st.ProcsRun, st.ProcsBlk, st.ProcsNew,
+		st.MemUsed, st.MemFree, st.MemBuff, st.MemCach,
+		st.PagingIn, st.PagingOut,
+		st.DiskRead, st.DiskWrite,
+		st.SystemInt, st.SystemCsw,
+		st.CPUUsr, st.CPUSys, st.CPUIdl,
+		st.CPUWai, st.CPUStl,
+		st.NetRecv, st.NetSend,
+		st.TempMB, st.TempCPU, st.TempNVMe,
 	}
 	// One typed batch per node per tick; see PMUPub.sample.
 	s.batch = s.batch[:0]
 	hostname := s.node.Hostname()
-	for _, metric := range StatsMetrics {
+	for i, metric := range StatsMetrics {
 		s.batch = append(s.batch, Sample{
 			Tags: Tags{Org: s.org, Cluster: s.cluster, Node: hostname,
 				Plugin: "dstat_pub", Core: -1, Metric: metric},
-			T: now, V: values[metric],
+			T: now, V: values[i],
 		})
 	}
 	_ = s.broker.PublishBatch(s.batch)
@@ -242,6 +232,17 @@ type PowerPub struct {
 // PowerTotalMetric is the power_pub metric carrying the nine-rail board
 // total in milliwatts; the per-rail metrics are "power.<rail>".
 const PowerTotalMetric = "power.total"
+
+// powerRailMetrics precomputes the per-rail metric names in power.Rails
+// order, so the 1 Hz per-node sampler doesn't concatenate nine strings
+// per tick.
+var powerRailMetrics = func() []string {
+	names := make([]string, len(power.Rails))
+	for i, rail := range power.Rails {
+		names[i] = "power." + string(rail)
+	}
+	return names
+}()
 
 // NewPowerPub builds the plugin for one node.
 func NewPowerPub(broker *Broker, nd *node.Node, org, cluster string) (*PowerPub, error) {
@@ -285,12 +286,12 @@ func (p *PowerPub) sample(now float64) {
 	p.batch = p.batch[:0]
 	hostname := p.node.Hostname()
 	total := 0.0
-	for _, rail := range power.Rails {
+	for i, rail := range power.Rails {
 		mw := p.node.RailMilliwatts(rail)
 		total += mw
 		p.batch = append(p.batch, Sample{
 			Tags: Tags{Org: p.org, Cluster: p.cluster, Node: hostname,
-				Plugin: "power_pub", Core: -1, Metric: "power." + string(rail)},
+				Plugin: "power_pub", Core: -1, Metric: powerRailMetrics[i]},
 			T: now, V: mw,
 		})
 	}

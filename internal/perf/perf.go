@@ -84,9 +84,15 @@ type PMU struct {
 	harts []hartCounters
 }
 
+// numEvents sizes the per-hart accumulator arrays: events are small
+// consecutive constants (1..EventBranchMiss) indexed directly, which keeps
+// Advance — the single hottest function in the whole simulator — free of
+// map hashing.
+const numEvents = int(EventBranchMiss) + 1
+
 type hartCounters struct {
-	counts map[Event]uint64
-	frac   map[Event]float64 // fractional accumulation between ticks
+	counts [numEvents]uint64
+	frac   [numEvents]float64 // fractional accumulation between ticks
 }
 
 // NewPMU builds a PMU for a core complex with the given hart count and
@@ -99,20 +105,13 @@ func NewPMU(harts int, clockHz, issueWidth float64, lineBytes int, hpmEnabled bo
 	if clockHz <= 0 || issueWidth <= 0 || lineBytes <= 0 {
 		return nil, fmt.Errorf("perf: clock, issue width and line size must be positive")
 	}
-	p := &PMU{
+	return &PMU{
 		clockHz:    clockHz,
 		issueWidth: issueWidth,
 		lineBytes:  float64(lineBytes),
 		hpmEnabled: hpmEnabled,
 		harts:      make([]hartCounters, harts),
-	}
-	for i := range p.harts {
-		p.harts[i] = hartCounters{
-			counts: make(map[Event]uint64, 6),
-			frac:   make(map[Event]float64, 6),
-		}
-	}
-	return p, nil
+	}, nil
 }
 
 // Harts returns the number of harts with counters.
@@ -140,18 +139,17 @@ func (p *PMU) Advance(dt float64, load Load) {
 		scale = 1
 	}
 	n := float64(len(p.harts))
-	perHart := map[Event]float64{
-		EventCycle:      p.clockHz * scale * dt,
-		EventInstret:    p.issueWidth * p.clockHz * scale * dt * ca,
-		EventDDRRead:    load.DDRReadBytesPerSec * dt / p.lineBytes / n,
-		EventDDRWrite:   load.DDRWriteBytesPerSec * dt / p.lineBytes / n,
-		EventBranchMiss: 0.005 * p.issueWidth * p.clockHz * scale * dt * ca,
-	}
+	var perHart [numEvents]float64
+	perHart[EventCycle] = p.clockHz * scale * dt
+	perHart[EventInstret] = p.issueWidth * p.clockHz * scale * dt * ca
+	perHart[EventDDRRead] = load.DDRReadBytesPerSec * dt / p.lineBytes / n
+	perHart[EventDDRWrite] = load.DDRWriteBytesPerSec * dt / p.lineBytes / n
+	perHart[EventBranchMiss] = 0.005 * p.issueWidth * p.clockHz * scale * dt * ca
 	perHart[EventL2Miss] = perHart[EventDDRRead] + perHart[EventDDRWrite]
 	for i := range p.harts {
 		h := &p.harts[i]
-		for ev, inc := range perHart {
-			acc := h.frac[ev] + inc
+		for ev := int(EventInstret); ev < numEvents; ev++ {
+			acc := h.frac[ev] + perHart[ev]
 			whole := uint64(acc)
 			h.counts[ev] += whole
 			h.frac[ev] = acc - float64(whole)
@@ -171,7 +169,7 @@ func (p *PMU) Read(hart int, ev Event) (uint64, error) {
 	if !ev.Fixed() && !knownEvent(ev) {
 		return 0, fmt.Errorf("perf: unknown event %v", ev)
 	}
-	return p.harts[hart].counts[ev], nil
+	return p.harts[hart].counts[int(ev)], nil
 }
 
 func knownEvent(ev Event) bool {

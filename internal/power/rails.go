@@ -103,79 +103,105 @@ var (
 // (internal/workload.Lookup), the single mapping from benchmark names to
 // these calibrated profiles; this package only owns the physics.
 
+// numRails sizes the per-rail coefficient arrays.
+const numRails = 9
+
+// railIndex maps a rail name to its Table VI position, or -1 for an
+// unknown rail. Rail evaluation sits inside every node's power integration
+// step; indexing arrays here instead of hashing string-keyed maps is what
+// keeps it off the CPU profile.
+func railIndex(r Rail) int {
+	switch r {
+	case RailCore:
+		return 0
+	case RailDDRSoC:
+		return 1
+	case RailIO:
+		return 2
+	case RailPLL:
+		return 3
+	case RailPCIeVP:
+		return 4
+	case RailPCIeVPH:
+		return 5
+	case RailDDRMem:
+		return 6
+	case RailDDRPLL:
+		return 7
+	case RailDDRVpp:
+		return 8
+	default:
+		return -1
+	}
+}
+
+// railTable holds one coefficient per rail, in Table VI order.
+type railTable [numRails]float64
+
 // Model evaluates per-rail power for a phase and activity. Construct with
 // NewModel; the zero value has zero coefficients everywhere.
 type Model struct {
 	// Floors per phase, mW.
-	r1Floor  map[Rail]float64
-	r2Floor  map[Rail]float64
-	runFloor map[Rail]float64
+	r1Floor  railTable
+	r2Floor  railTable
+	runFloor railTable
 
 	// Activity coefficients, mW per unit of the respective metric.
-	coreActCoef map[Rail]float64 // x CoreActivity
-	ddrReadCoef map[Rail]float64 // x DDRReadGBs
-	ddrWritCoef map[Rail]float64 // x DDRWriteGBs
-	l2Coef      map[Rail]float64 // x L2GBs
-	pcieCoef    map[Rail]float64 // x PCIeActivity
+	coreActCoef railTable // x CoreActivity
+	ddrReadCoef railTable // x DDRReadGBs
+	ddrWritCoef railTable // x DDRWriteGBs
+	l2Coef      railTable // x L2GBs
+	pcieCoef    railTable // x PCIeActivity
 }
+
+// Coefficient order within each railTable literal below:
+// core, ddr_soc, io, pll, pcievp, pcievph, ddr_mem, ddr_pll, ddr_vpp.
 
 // NewModel returns the HiFive Unmatched calibration.
 func NewModel() *Model {
 	return &Model{
 		// Fig. 4 region R1: supply on, no clock. Pure leakage.
-		r1Floor: map[Rail]float64{
-			RailCore: 984, RailDDRSoC: 59, RailIO: 5, RailPLL: 0,
-			RailPCIeVP: 12, RailPCIeVPH: 1, RailDDRMem: 275,
-			RailDDRPLL: 0, RailDDRVpp: 49,
-		},
+		r1Floor: railTable{984, 59, 5, 0, 12, 1, 275, 0, 49},
 		// Fig. 4 region R2: bootloader running, PLL active, DDR training.
 		// core = leakage (984) + clock tree and boot dynamic (1577).
-		r2Floor: map[Rail]float64{
-			RailCore: 2561, RailDDRSoC: 197, RailIO: 20, RailPLL: 2,
-			RailPCIeVP: 231, RailPCIeVPH: 395, RailDDRMem: 467,
-			RailDDRPLL: 29, RailDDRVpp: 122,
-		},
+		r2Floor: railTable{2561, 197, 20, 2, 231, 395, 467, 29, 122},
 		// Table VI "Idle" column: OS up, no workload.
-		runFloor: map[Rail]float64{
-			RailCore: 3075, RailDDRSoC: 139, RailIO: 20, RailPLL: 1,
-			RailPCIeVP: 521, RailPCIeVPH: 555, RailDDRMem: 404,
-			RailDDRPLL: 28, RailDDRVpp: 67,
-		},
+		runFloor: railTable{3075, 139, 20, 1, 521, 555, 404, 28, 67},
 		// Least-squares fit of the four workload columns of Table VI.
-		coreActCoef: map[Rail]float64{
-			RailCore: 2193, RailPCIeVP: 12, RailPCIeVPH: 4, RailDDRVpp: 24,
-		},
-		ddrReadCoef: map[Rail]float64{
-			RailCore: 2.5, RailDDRSoC: 37, RailDDRMem: 18, RailDDRVpp: 10,
-		},
-		ddrWritCoef: map[Rail]float64{
-			RailCore: 2.5, RailDDRSoC: 37, RailDDRMem: 214, RailDDRVpp: 10,
-		},
-		l2Coef: map[Rail]float64{
-			RailDDRSoC: 1.2,
-		},
-		pcieCoef: map[Rail]float64{
-			RailPCIeVP: 20, RailPCIeVPH: 25,
-		},
+		coreActCoef: railTable{0: 2193, 4: 12, 5: 4, 8: 24},
+		ddrReadCoef: railTable{0: 2.5, 1: 37, 6: 18, 8: 10},
+		ddrWritCoef: railTable{0: 2.5, 1: 37, 6: 214, 8: 10},
+		l2Coef:      railTable{1: 1.2},
+		pcieCoef:    railTable{4: 20, 5: 25},
 	}
 }
 
 // RailMilliwatts returns the modelled power of one rail in milliwatts.
+// Unknown rails are zero in every phase, as with the historical map-based
+// coefficient tables.
 func (m *Model) RailMilliwatts(r Rail, phase Phase, act Activity) float64 {
+	i := railIndex(r)
+	if i < 0 {
+		return 0
+	}
+	return m.railMilliwattsAt(i, phase, act)
+}
+
+func (m *Model) railMilliwattsAt(i int, phase Phase, act Activity) float64 {
 	switch phase {
 	case PhaseOff:
 		return 0
 	case PhaseR1:
-		return m.r1Floor[r]
+		return m.r1Floor[i]
 	case PhaseR2:
-		return m.r2Floor[r]
+		return m.r2Floor[i]
 	case PhaseRun:
-		return m.runFloor[r] +
-			m.coreActCoef[r]*clamp01(act.CoreActivity) +
-			m.ddrReadCoef[r]*nonNeg(act.DDRReadGBs) +
-			m.ddrWritCoef[r]*nonNeg(act.DDRWriteGBs) +
-			m.l2Coef[r]*nonNeg(act.L2GBs) +
-			m.pcieCoef[r]*clamp01(act.PCIeActivity)
+		return m.runFloor[i] +
+			m.coreActCoef[i]*clamp01(act.CoreActivity) +
+			m.ddrReadCoef[i]*nonNeg(act.DDRReadGBs) +
+			m.ddrWritCoef[i]*nonNeg(act.DDRWriteGBs) +
+			m.l2Coef[i]*nonNeg(act.L2GBs) +
+			m.pcieCoef[i]*clamp01(act.PCIeActivity)
 	default:
 		return 0
 	}
@@ -187,7 +213,11 @@ func (m *Model) RailMilliwatts(r Rail, phase Phase, act Activity) float64 {
 // management governor (the paper's future work item ii). Boot phases and
 // the off state are unaffected.
 func (m *Model) RailMilliwattsScaled(r Rail, phase Phase, act Activity, freqScale float64) float64 {
-	full := m.RailMilliwatts(r, phase, act)
+	i := railIndex(r)
+	if i < 0 {
+		return 0
+	}
+	full := m.railMilliwattsAt(i, phase, act)
 	if phase != PhaseRun {
 		return full
 	}
@@ -197,7 +227,7 @@ func (m *Model) RailMilliwattsScaled(r Rail, phase Phase, act Activity, freqScal
 	if freqScale > 1 {
 		freqScale = 1
 	}
-	leak := m.r1Floor[r]
+	leak := m.r1Floor[i]
 	if full < leak {
 		leak = full
 	}
@@ -226,17 +256,19 @@ func (m *Model) TotalMilliwatts(phase Phase, act Activity) float64 {
 // derived from the boot regions of Fig. 4: leakage (R1), dynamic + clock
 // tree (R2 - R1) and operating-system power (idle - R2), in milliwatts.
 func (m *Model) CoreDecomposition() (leakage, clockTreeDynamic, osPower float64) {
-	leakage = m.r1Floor[RailCore]
-	clockTreeDynamic = m.r2Floor[RailCore] - m.r1Floor[RailCore]
-	osPower = m.runFloor[RailCore] - m.r2Floor[RailCore]
+	core := railIndex(RailCore)
+	leakage = m.r1Floor[core]
+	clockTreeDynamic = m.r2Floor[core] - m.r1Floor[core]
+	osPower = m.runFloor[core] - m.r2Floor[core]
 	return leakage, clockTreeDynamic, osPower
 }
 
 // DDRMemDecomposition reports the DDR bank idle decomposition: leakage (R1)
 // and the self-refresh + OS housekeeping remainder, in milliwatts.
 func (m *Model) DDRMemDecomposition() (leakage, refreshAndOS float64) {
-	leakage = m.r1Floor[RailDDRMem]
-	refreshAndOS = m.runFloor[RailDDRMem] - leakage
+	mem := railIndex(RailDDRMem)
+	leakage = m.r1Floor[mem]
+	refreshAndOS = m.runFloor[mem] - leakage
 	return leakage, refreshAndOS
 }
 

@@ -83,6 +83,16 @@ type Governor struct {
 	perNode map[string]float64 // scratch: measured draw per host, watts
 	caps    map[string]float64 // last distributed caps, watts
 	aggRes  []examon.AggSeries // scratch: reused measurement query result
+	shares  []share            // scratch: reused per-tick distribution table
+}
+
+// share is one running node's row in the distribute() water-filling pass.
+type share struct {
+	host   string
+	weight float64
+	draw   float64
+	cap    float64
+	capped bool
 }
 
 // New builds a governor over the cluster. store is the telemetry database
@@ -247,14 +257,7 @@ func (g *Governor) measure(now float64) {
 // drawing under their share to nodes pressed against theirs — and hands
 // the caps to the dtm governors.
 func (g *Governor) distribute() {
-	type share struct {
-		host   string
-		weight float64
-		draw   float64
-		cap    float64
-		capped bool
-	}
-	var active []share
+	active := g.shares[:0]
 	sumW := 0.0
 	g.throttled = 0
 	for i := 0; i < g.cl.Size(); i++ {
@@ -276,6 +279,7 @@ func (g *Governor) distribute() {
 		active = append(active, share{host: host, weight: w, draw: g.perNode[host]})
 		sumW += w
 	}
+	g.shares = active
 	if len(active) == 0 {
 		return
 	}

@@ -1,0 +1,57 @@
+// Package profiling wires the standard Go pprof collectors into the
+// command-line front ends. The perf work on the event engine is driven
+// from measured profiles, so every command that runs a simulation can
+// capture them: mcsched and mcrun take -cpuprofile/-memprofile flags
+// (this package), and mcmon exposes the live net/http/pprof endpoints on
+// its REST listener.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// memPath; either path may be empty to skip that profile. The returned
+// stop function flushes and closes both — call it exactly once, after the
+// profiled work (defer is fine for commands that exit right after).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			// Settle the heap first so the profile reports live objects,
+			// not whatever the last GC cycle happened to leave behind.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("profiling: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

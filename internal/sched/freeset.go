@@ -136,16 +136,16 @@ func (h *releaseHeap) remove(e *releaseEntry) {
 	}
 }
 
-// scratch returns a value-copy min-heap of the pending releases that can
-// be consumed in (at, jobID) order without disturbing the live entries'
-// heap positions. A copy of a heap slice is already heap-ordered, so no
-// re-heapify is needed.
-func (h releaseHeap) scratch() scratchHeap {
-	out := make(scratchHeap, len(h))
-	for i, e := range h {
-		out[i] = *e
+// scratchInto fills dst (reusing its capacity) with a value-copy min-heap
+// of the pending releases that can be consumed in (at, jobID) order
+// without disturbing the live entries' heap positions. A copy of a heap
+// slice is already heap-ordered, so no re-heapify is needed.
+func (h releaseHeap) scratchInto(dst scratchHeap) scratchHeap {
+	dst = dst[:0]
+	for _, e := range h {
+		dst = append(dst, *e)
 	}
-	return out
+	return dst
 }
 
 // scratchHeap is a value-based min-heap over releaseEntry with the same

@@ -112,7 +112,7 @@ type Job struct {
 	hosts     []string
 	attempt   int     // 0 for the original submission, +1 per requeue
 	runScale  float64 // runtime stretch applied at start (0 until started)
-	endEvent  *sim.Event
+	endEvent  sim.Handle
 	release   *releaseEntry
 }
 
@@ -169,6 +169,16 @@ type Scheduler struct {
 	// job's modelled execution time at start: fault campaigns return > 1
 	// for allocations touching straggler nodes or degraded-network windows.
 	runtimeScale func(job *Job, hosts []string) float64
+
+	// Per-cycle scratch, rebuilt on every scheduling pass: the priority
+	// snapshot of the pending queue, the reservation walk's value-copy
+	// release heap, and the cycle callback itself. All three are consumed
+	// strictly within one trySchedule call (kick only enqueues an engine
+	// event), so reusing them is safe and keeps the scheduling cycle —
+	// which runs after every submission and completion — allocation-free.
+	cycleFn      func(*sim.Engine)
+	orderScratch []*Job
+	relScratch   scratchHeap
 }
 
 // New builds a scheduler over the given hostnames. The default policy is
@@ -329,16 +339,22 @@ func (s *Scheduler) Reschedule() { s.kick() }
 func (s *Scheduler) kick() {
 	// Scheduling runs as an event so that submissions during event
 	// processing still honour engine ordering.
-	if _, err := s.engine.ScheduleAfter(0, "sched.cycle", func(*sim.Engine) { s.trySchedule() }); err != nil {
+	if s.cycleFn == nil {
+		s.cycleFn = func(*sim.Engine) { s.trySchedule() }
+	}
+	if _, err := s.engine.ScheduleAfter(0, "sched.cycle", s.cycleFn); err != nil {
 		panic(fmt.Sprintf("sched: kick: %v", err)) // unreachable: delay 0 is valid
 	}
 }
 
 // pendingByPriority returns the pending queue in the policy's priority
 // order; the sort is stable, so equal priorities keep submission order.
-// Policies that keep submission order outright skip the sort.
+// Policies that keep submission order outright skip the sort. The snapshot
+// lives in the scheduler's scratch buffer: each call invalidates the
+// previous one, which trySchedule (the only caller) never needs again.
 func (s *Scheduler) pendingByPriority() []*Job {
-	out := append([]*Job(nil), s.queue...)
+	out := append(s.orderScratch[:0], s.queue...)
+	s.orderScratch = out
 	if !s.fifoOrdered {
 		sort.SliceStable(out, func(i, j int) bool { return s.policy.Less(out[i], out[j]) })
 	}
@@ -430,7 +446,8 @@ func (s *Scheduler) reservation(head *Job) (shadow float64, extraNodes int) {
 	// scratch heap: O(releases) to heapify, then only as many pops as it
 	// takes to fit the head. Releases at the same instant free together,
 	// so a whole group is accumulated before the fit test.
-	scratch := s.releases.scratch()
+	scratch := s.releases.scratchInto(s.relScratch)
+	s.relScratch = scratch // retain the (possibly grown) backing for reuse
 	for scratch.Len() > 0 {
 		at := scratch[0].at
 		for scratch.Len() > 0 && scratch[0].at == at {
@@ -550,10 +567,8 @@ func (s *Scheduler) endJob(job *Job, state JobState) {
 	if job.state != StateRunning {
 		return
 	}
-	if job.endEvent != nil {
-		job.endEvent.Cancel()
-		job.endEvent = nil
-	}
+	job.endEvent.Cancel()
+	job.endEvent = sim.Handle{}
 	if job.release != nil {
 		s.releases.remove(job.release)
 		job.release = nil

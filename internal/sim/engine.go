@@ -23,11 +23,18 @@ var ErrStopped = errors.New("sim: engine stopped")
 
 // Event is a scheduled callback. The callback receives the engine so it can
 // schedule follow-up events; it runs at exactly its scheduled virtual time.
+//
+// Events are pooled: once an event has fired (or been cancelled) the engine
+// recycles its Event struct for a future schedule call, so the steady-state
+// event churn of a long campaign allocates nothing. Callers therefore never
+// hold *Event — every Schedule variant returns a generation-stamped Handle
+// that turns into a no-op the moment its event completes and is recycled.
 type Event struct {
-	at   float64
-	seq  uint64
-	fn   func(*Engine)
-	name string
+	at     float64
+	seq    uint64
+	fn     func(*Engine)
+	name   string
+	period float64 // > 0 for recurring events (ScheduleEvery)
 
 	// keys lists the shard keys (node indexes) whose model state the
 	// callback integrates, and affine marks the event as touching ONLY that
@@ -37,8 +44,11 @@ type Event struct {
 	affine bool
 
 	cancelled bool
+	eng       *Engine
 	queue     *eventQueue // owning queue while pending, nil once popped
 	index     int         // heap index, -1 once popped or cancelled
+	gen       uint64      // bumped on recycle; handles bind to one generation
+	free      bool        // sitting on the engine free list (reuse guard)
 }
 
 // At returns the virtual time (seconds) the event is scheduled for.
@@ -47,16 +57,68 @@ func (e *Event) At() float64 { return e.at }
 // Name returns the diagnostic label given at scheduling time.
 func (e *Event) Name() string { return e.name }
 
-// Cancel prevents a pending event from firing and removes it from the
+// cancel prevents a pending event from firing and removes it from the
 // engine's queue immediately, so long runs that cancel many events (ticker
-// stops, rescheduled watchdogs) do not accumulate dead heap entries.
-// Cancelling an event that has already fired (or was already cancelled) is
-// a no-op.
-func (e *Event) Cancel() {
+// stops, rescheduled watchdogs) do not accumulate dead heap entries. An
+// event removed from the queue is recycled on the spot; an event that is
+// currently executing or buffered in a lookahead window is only marked —
+// the run loop recycles it when it reaches it.
+func (e *Event) cancel() {
+	if e.cancelled {
+		return
+	}
 	e.cancelled = true
 	if e.queue != nil && e.index >= 0 {
 		e.queue.Remove(e.index)
+		e.eng.release(e)
 	}
+}
+
+// Handle is a cancellation token for one scheduled event (or, for
+// ScheduleEvery, the whole recurring series). It is a value type binding
+// the event pointer to the generation it was issued for: once the event
+// fires or is cancelled the engine recycles the struct and bumps its
+// generation, so a stale handle's Cancel is a guaranteed no-op — a reused
+// Event can never be cancelled (or otherwise reached) through a handle to
+// its previous life. The zero Handle is valid and refers to nothing.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
+
+// Cancel prevents the handle's event from firing (for recurring events:
+// ever again). Cancelling an event that already fired, was already
+// cancelled, or a zero Handle is a no-op; Cancel is safe to call from
+// within the event's own callback.
+func (h Handle) Cancel() {
+	if h.ev == nil || h.gen != h.ev.gen {
+		return
+	}
+	h.ev.cancel()
+}
+
+// Scheduled reports whether the handle still refers to a live (pending or
+// currently executing, not cancelled) event.
+func (h Handle) Scheduled() bool {
+	return h.ev != nil && h.gen == h.ev.gen && !h.ev.cancelled
+}
+
+// At returns the handle's event's scheduled virtual time (for recurring
+// events: of the next occurrence), or 0 for a dead or zero handle.
+func (h Handle) At() float64 {
+	if !h.Scheduled() {
+		return 0
+	}
+	return h.ev.at
+}
+
+// Name returns the handle's event's diagnostic label, or "" for a dead or
+// zero handle.
+func (h Handle) Name() string {
+	if !h.Scheduled() {
+		return ""
+	}
+	return h.ev.name
 }
 
 // Engine is a discrete-event simulator with a virtual clock.
@@ -89,6 +151,43 @@ type Engine struct {
 	windows  uint64
 	windowed uint64
 	prepared uint64
+
+	// freeList recycles fired and cancelled Events (see Event). Bounded by
+	// the peak number of simultaneously live events, not by event churn.
+	freeList []*Event
+}
+
+// alloc takes an Event off the free list, or heap-allocates the first time.
+func (e *Engine) alloc() *Event {
+	if n := len(e.freeList); n > 0 {
+		ev := e.freeList[n-1]
+		e.freeList[n-1] = nil
+		e.freeList = e.freeList[:n-1]
+		ev.free = false
+		return ev
+	}
+	return &Event{eng: e}
+}
+
+// release recycles a completed (fired or cancelled-and-dequeued) Event:
+// bumps its generation so outstanding Handles go stale, clears the fields
+// that pin caller memory (callback closure, key slice) and parks it on the
+// free list. Exactly one release per event lifetime; the free flag guards
+// the invariant.
+func (e *Engine) release(ev *Event) {
+	if ev.free {
+		panic(fmt.Sprintf("sim: event %q released twice", ev.name))
+	}
+	ev.free = true
+	ev.gen++
+	ev.fn = nil
+	ev.name = ""
+	ev.keys = nil
+	ev.period = 0
+	ev.cancelled = false
+	ev.queue = nil
+	ev.index = -1
+	e.freeList = append(e.freeList, ev)
 }
 
 // NewEngine returns an engine with the clock at t=0 and an empty queue.
@@ -120,16 +219,16 @@ func (e *Engine) Pending() int {
 // ScheduleAt registers fn to run at absolute virtual time at (seconds).
 // Scheduling in the past is an error; scheduling at the current instant is
 // allowed and runs after already-queued events for that instant.
-func (e *Engine) ScheduleAt(at float64, name string, fn func(*Engine)) (*Event, error) {
-	return e.schedule(at, name, nil, false, fn)
+func (e *Engine) ScheduleAt(at float64, name string, fn func(*Engine)) (Handle, error) {
+	return e.schedule(at, 0, name, nil, false, fn)
 }
 
 // ScheduleAfter registers fn to run delay seconds after the current time.
-func (e *Engine) ScheduleAfter(delay float64, name string, fn func(*Engine)) (*Event, error) {
+func (e *Engine) ScheduleAfter(delay float64, name string, fn func(*Engine)) (Handle, error) {
 	if delay < 0 {
-		return nil, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
+		return Handle{}, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
 	}
-	return e.schedule(e.now+delay, name, nil, false, fn)
+	return e.schedule(e.now+delay, 0, name, nil, false, fn)
 }
 
 // ScheduleAtAffine registers a shard-affine event: the callback touches
@@ -138,16 +237,16 @@ func (e *Engine) ScheduleAfter(delay float64, name string, fn func(*Engine)) (*E
 // Affine events do not terminate a lookahead window; their keyed state may
 // be prepared concurrently. The engine keeps the keys slice; callers must
 // not mutate it afterwards. See shard.go for the full contract.
-func (e *Engine) ScheduleAtAffine(at float64, name string, keys []int, fn func(*Engine)) (*Event, error) {
-	return e.schedule(at, name, keys, true, fn)
+func (e *Engine) ScheduleAtAffine(at float64, name string, keys []int, fn func(*Engine)) (Handle, error) {
+	return e.schedule(at, 0, name, keys, true, fn)
 }
 
 // ScheduleAfterAffine is ScheduleAtAffine relative to the current time.
-func (e *Engine) ScheduleAfterAffine(delay float64, name string, keys []int, fn func(*Engine)) (*Event, error) {
+func (e *Engine) ScheduleAfterAffine(delay float64, name string, keys []int, fn func(*Engine)) (Handle, error) {
 	if delay < 0 {
-		return nil, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
+		return Handle{}, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
 	}
-	return e.schedule(e.now+delay, name, keys, true, fn)
+	return e.schedule(e.now+delay, 0, name, keys, true, fn)
 }
 
 // ScheduleAtPrepared registers a prepared barrier: a cross-shard event
@@ -156,29 +255,62 @@ func (e *Engine) ScheduleAfterAffine(delay float64, name string, keys []int, fn 
 // prepare concurrently — e.g. a job-end event whose allocation was fixed
 // at start time. The engine keeps the keys slice; callers must not mutate
 // it afterwards.
-func (e *Engine) ScheduleAtPrepared(at float64, name string, keys []int, fn func(*Engine)) (*Event, error) {
-	return e.schedule(at, name, keys, false, fn)
+func (e *Engine) ScheduleAtPrepared(at float64, name string, keys []int, fn func(*Engine)) (Handle, error) {
+	return e.schedule(at, 0, name, keys, false, fn)
 }
 
 // ScheduleAfterPrepared is ScheduleAtPrepared relative to the current time.
-func (e *Engine) ScheduleAfterPrepared(delay float64, name string, keys []int, fn func(*Engine)) (*Event, error) {
+func (e *Engine) ScheduleAfterPrepared(delay float64, name string, keys []int, fn func(*Engine)) (Handle, error) {
 	if delay < 0 {
-		return nil, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
+		return Handle{}, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
 	}
-	return e.schedule(e.now+delay, name, keys, false, fn)
+	return e.schedule(e.now+delay, 0, name, keys, false, fn)
 }
 
-func (e *Engine) schedule(at float64, name string, keys []int, affine bool, fn func(*Engine)) (*Event, error) {
+// ScheduleEvery registers fn to run at absolute virtual time start and then
+// every period seconds until the returned handle is cancelled. The series
+// reuses ONE Event, rescheduled in place after each occurrence, so a
+// steady-state ticker allocates nothing per tick. Each occurrence takes a
+// fresh sequence number AFTER the callback returns — exactly the order a
+// callback that reschedules itself by hand would produce, so porting a
+// self-rescheduling closure onto ScheduleEvery is trace-invariant.
+func (e *Engine) ScheduleEvery(start, period float64, name string, fn func(*Engine)) (Handle, error) {
+	if err := checkPeriod(name, period); err != nil {
+		return Handle{}, err
+	}
+	return e.schedule(start, period, name, nil, false, fn)
+}
+
+// ScheduleEveryAffine is ScheduleEvery for a shard-affine callback (see
+// ScheduleAtAffine for the affinity contract).
+func (e *Engine) ScheduleEveryAffine(start, period float64, name string, keys []int, fn func(*Engine)) (Handle, error) {
+	if err := checkPeriod(name, period); err != nil {
+		return Handle{}, err
+	}
+	return e.schedule(start, period, name, keys, true, fn)
+}
+
+func checkPeriod(name string, period float64) error {
+	if math.IsNaN(period) || math.IsInf(period, 0) || period <= 0 {
+		return fmt.Errorf("sim: schedule %q: period must be positive, got %v", name, period)
+	}
+	return nil
+}
+
+func (e *Engine) schedule(at, period float64, name string, keys []int, affine bool, fn func(*Engine)) (Handle, error) {
 	if math.IsNaN(at) || math.IsInf(at, 0) {
-		return nil, fmt.Errorf("sim: schedule %q: invalid time %v", name, at)
+		return Handle{}, fmt.Errorf("sim: schedule %q: invalid time %v", name, at)
 	}
 	if at < e.now {
-		return nil, fmt.Errorf("sim: schedule %q: time %.9f is before now %.9f", name, at, e.now)
+		return Handle{}, fmt.Errorf("sim: schedule %q: time %.9f is before now %.9f", name, at, e.now)
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, name: name, keys: keys, affine: affine, queue: &e.queue}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn, ev.name = at, e.seq, fn, name
+	ev.keys, ev.affine, ev.period = keys, affine, period
+	ev.queue = &e.queue
 	e.seq++
 	e.queue.Push(ev)
-	return ev, nil
+	return Handle{ev: ev, gen: ev.gen}, nil
 }
 
 // Stop halts the run loop after the currently executing event returns.
@@ -264,8 +396,28 @@ func (e *Engine) parallel() bool {
 // drain mirroring the eager in-queue removal).
 func (e *Engine) sweepTombstones() {
 	for e.queue.Len() > 0 && e.queue.Peek().cancelled {
-		e.queue.Pop()
+		e.release(e.queue.Pop())
 	}
+}
+
+// fire executes one popped event at its instant, then either recycles it
+// or — for a live recurring event — reschedules it in place: advance at by
+// the period, stamp the NEXT free sequence number (the callback's own
+// scheduling activity comes first, preserving the exact order a
+// self-rescheduling closure produced) and push the same struct back.
+func (e *Engine) fire(ev *Event) {
+	e.now = ev.at
+	e.executed++
+	ev.fn(e)
+	if ev.period > 0 && !ev.cancelled {
+		ev.at += ev.period
+		ev.seq = e.seq
+		e.seq++
+		ev.queue = &e.queue
+		e.queue.Push(ev)
+		return
+	}
+	e.release(ev)
 }
 
 // Step executes the single next pending event, advancing the clock to its
@@ -274,11 +426,10 @@ func (e *Engine) Step() bool {
 	for e.queue.Len() > 0 {
 		ev := e.queue.Pop()
 		if ev.cancelled {
-			continue // cancelled mid-pop by a concurrent callback; skip
+			e.release(ev) // cancelled mid-pop by a concurrent callback; skip
+			continue
 		}
-		e.now = ev.at
-		e.executed++
-		ev.fn(e)
+		e.fire(ev)
 		return true
 	}
 	return false
@@ -298,7 +449,7 @@ func (e *Engine) RunUntil(horizon float64) error {
 	for e.queue.Len() > 0 {
 		next := e.queue.Peek()
 		if next.cancelled {
-			e.queue.Pop()
+			e.release(e.queue.Pop())
 			continue
 		}
 		if next.at > horizon {

@@ -321,7 +321,7 @@ func TestCancelledEventsCompactEagerly(t *testing.T) {
 	// Ticker.Stop / Event.Cancel calls grew the queue without bound and
 	// Pending() over-reported.
 	e := NewEngine()
-	var events []*Event
+	var events []Handle
 	for i := 0; i < 1000; i++ {
 		ev, err := e.ScheduleAt(float64(i+1), "ev", func(*Engine) {})
 		if err != nil {
@@ -357,11 +357,9 @@ func TestCancelledEventsCompactEagerly(t *testing.T) {
 
 	// The reschedule-heavy pattern (cancel + schedule in a loop, as the
 	// cluster watchdogs and ticker stops do) must keep the queue flat.
-	var watch *Event
+	var watch Handle
 	for i := 0; i < 10000; i++ {
-		if watch != nil {
-			watch.Cancel()
-		}
+		watch.Cancel()
 		ev, err := e.ScheduleAfter(float64(i%7+1), "watch", func(*Engine) {})
 		if err != nil {
 			t.Fatal(err)
@@ -378,7 +376,7 @@ func TestCancelHeapOrderPreserved(t *testing.T) {
 	e := NewEngine()
 	var got []float64
 	times := []float64{9, 3, 7, 1, 8, 2, 6, 4, 5, 10}
-	events := make(map[float64]*Event)
+	events := make(map[float64]Handle)
 	for _, at := range times {
 		at := at
 		ev, err := e.ScheduleAt(at, "ev", func(*Engine) { got = append(got, at) })

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestScheduleEveryDriftFree checks the recurring timer's tick arithmetic:
+// occurrences accumulate as at += period from the start instant, so over a
+// long horizon tick k stays within float-accumulation distance of
+// start + k*period — no systematic drift from rescheduling relative to
+// "now", no quantization to the engine's event grid. The period is chosen
+// binary-inexact (0.1 s, the power_pub class of rates) to make any
+// re-derivation of tick times from the current clock visible.
+func TestScheduleEveryDriftFree(t *testing.T) {
+	e := NewEngine()
+	const (
+		start  = 0.05
+		period = 0.1
+		ticks  = 10000
+	)
+	var got []float64
+	h, err := e.ScheduleEvery(start, period, "drift", func(e *Engine) {
+		got = append(got, e.Now())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(start + period*ticks); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < ticks {
+		t.Fatalf("got %d ticks, want at least %d", len(got), ticks)
+	}
+	// Exact contract: the k-th tick is bit-identical to k accumulated adds.
+	acc := start
+	for k, at := range got {
+		if at != acc {
+			t.Fatalf("tick %d at %v, want accumulated %v", k, at, acc)
+		}
+		// No drift: accumulation error over 10k ticks of 0.1 s is ~1e-12;
+		// anything above a microsecond means the timer re-derived its grid.
+		if math.Abs(at-(start+float64(k)*period)) > 1e-6 {
+			t.Fatalf("tick %d drifted to %v (ideal %v)", k, at, start+float64(k)*period)
+		}
+		acc += period
+	}
+	h.Cancel()
+	if e.Pending() != 0 {
+		t.Fatalf("%d events pending after cancelling the series", e.Pending())
+	}
+}
+
+// TestScheduleEveryCancelMidPeriod cancels a recurring series between two
+// occurrences and from within its own callback, checking that no further
+// tick fires in either case and the handle goes dead immediately.
+func TestScheduleEveryCancelMidPeriod(t *testing.T) {
+	e := NewEngine()
+	ticksA := 0
+	hA, err := e.ScheduleEvery(1, 1, "a", func(*Engine) { ticksA++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(3.5); err != nil { // ticks at 1, 2, 3; next due at 4
+		t.Fatal(err)
+	}
+	if ticksA != 3 {
+		t.Fatalf("ticked %d times before cancel, want 3", ticksA)
+	}
+	hA.Cancel() // mid-period: clock at 3.5, next occurrence at 4
+	if hA.Scheduled() {
+		t.Fatal("cancelled series still reports scheduled")
+	}
+	if err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if ticksA != 3 {
+		t.Fatalf("series ticked after mid-period cancel: %d", ticksA)
+	}
+	hA.Cancel() // idempotent
+
+	// Cancel from within the callback: the engine must not reschedule the
+	// occurrence that cancelled itself.
+	ticksB := 0
+	var hB Handle
+	hB, err = e.ScheduleEvery(e.Now()+1, 1, "b", func(*Engine) {
+		ticksB++
+		if ticksB == 2 {
+			hB.Cancel()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(e.Now() + 10); err != nil {
+		t.Fatal(err)
+	}
+	if ticksB != 2 {
+		t.Fatalf("self-cancel ticked %d times, want 2", ticksB)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events pending after self-cancel", e.Pending())
+	}
+}
+
+// TestScheduleEveryTraceMatchesSelfRescheduling replays the historical
+// ticker pattern — a closure that runs the callback and then reschedules
+// itself with ScheduleAt — against ScheduleEvery on a second engine, and
+// requires byte-identical traces. The workload is adversarial for ordering:
+// two periods that collide on a common grid (so same-instant sequence
+// numbers decide), and a callback that schedules one-shot follow-up events
+// (so the relative seq of "work scheduled by the tick" versus "the next
+// tick" matters). This is the invariant that made porting every sampler
+// onto the recurring-timer API a pure perf change.
+func TestScheduleEveryTraceMatchesSelfRescheduling(t *testing.T) {
+	run := func(recurring bool) []string {
+		e := NewEngine()
+		var trace []string
+		note := func(tag string) func(*Engine) {
+			return func(e *Engine) {
+				trace = append(trace, fmt.Sprintf("%.9f %s", e.Now(), tag))
+			}
+		}
+		// Each fast tick also schedules a follow-up half a period out.
+		tickFast := func(e *Engine) {
+			note("fast")(e)
+			if _, err := e.ScheduleAfter(0.25, "follow", note("follow")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tickSlow := note("slow")
+		if recurring {
+			if _, err := e.ScheduleEvery(0.5, 0.5, "fast", tickFast); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.ScheduleEvery(1, 1, "slow", tickSlow); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			// The historical shape: run the callback, then reschedule.
+			var selfFast, selfSlow func(*Engine)
+			nextFast, nextSlow := 0.5, 1.0
+			selfFast = func(e *Engine) {
+				tickFast(e)
+				nextFast += 0.5
+				if _, err := e.ScheduleAt(nextFast, "fast", selfFast); err != nil {
+					t.Fatal(err)
+				}
+			}
+			selfSlow = func(e *Engine) {
+				tickSlow(e)
+				nextSlow += 1
+				if _, err := e.ScheduleAt(nextSlow, "slow", selfSlow); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := e.ScheduleAt(nextFast, "fast", selfFast); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.ScheduleAt(nextSlow, "slow", selfSlow); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.RunUntil(20); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	old := run(false)
+	porting := run(true)
+	if len(old) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !reflect.DeepEqual(old, porting) {
+		for i := range old {
+			if i >= len(porting) {
+				t.Fatalf("ScheduleEvery trace truncated at %d (self-rescheduling has %q)", i, old[i])
+			}
+			if old[i] != porting[i] {
+				t.Fatalf("traces diverge at %d: self-rescheduling %q, ScheduleEvery %q",
+					i, old[i], porting[i])
+			}
+		}
+		t.Fatalf("trace lengths differ: %d vs %d", len(old), len(porting))
+	}
+}
+
+// TestScheduleEveryRejectsBadPeriods covers the argument contract.
+func TestScheduleEveryRejectsBadPeriods(t *testing.T) {
+	e := NewEngine()
+	for _, period := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := e.ScheduleEvery(1, period, "bad", func(*Engine) {}); err == nil {
+			t.Errorf("period %v accepted", period)
+		}
+	}
+}

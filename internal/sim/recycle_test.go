@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRecycledEventNeverFiresOldCallback is the safety contract of the
+// event pool: once an Event struct is recycled into a new schedule, nothing
+// from its previous life — neither the old callback nor a stale Handle —
+// can reach it. The test forces reuse (single free-list slot) and checks
+// both directions: the old callback never fires again, and a stale Cancel
+// does not kill the new tenant.
+func TestRecycledEventNeverFiresOldCallback(t *testing.T) {
+	e := NewEngine()
+	firstFired := 0
+	h1, err := e.ScheduleAt(1, "first", func(*Engine) { firstFired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev1 := h1.ev
+	if err := e.RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+	if firstFired != 1 {
+		t.Fatalf("first callback fired %d times, want 1", firstFired)
+	}
+	if h1.Scheduled() {
+		t.Fatal("handle still reports the fired event as scheduled")
+	}
+
+	// The fired struct is on the free list; the next schedule reuses it.
+	secondFired := 0
+	h2, err := e.ScheduleAt(3, "second", func(*Engine) { secondFired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.ev != ev1 {
+		t.Fatalf("second schedule did not recycle the fired struct (pool broken?)")
+	}
+	// A stale handle to the first life must not touch the second tenant.
+	h1.Cancel()
+	if !h2.Scheduled() {
+		t.Fatal("stale Cancel from a previous generation killed the new event")
+	}
+	if err := e.RunUntil(4); err != nil {
+		t.Fatal(err)
+	}
+	if secondFired != 1 {
+		t.Fatalf("second callback fired %d times, want 1", secondFired)
+	}
+	if firstFired != 1 {
+		t.Fatalf("first callback fired again through the recycled struct (%d times)", firstFired)
+	}
+	// Same guarantee for the cancel-then-recycle path.
+	h3, err := e.ScheduleAt(5, "third", func(*Engine) { t.Error("cancelled event fired") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3.Cancel()
+	fourthFired := 0
+	h4, err := e.ScheduleAt(5, "fourth", func(*Engine) { fourthFired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h4.ev != h3.ev {
+		t.Fatal("cancelled struct was not recycled")
+	}
+	h3.Cancel() // stale: its generation is gone
+	if !h4.Scheduled() {
+		t.Fatal("repeated stale Cancel killed the recycled event")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fourthFired != 1 {
+		t.Fatalf("fourth callback fired %d times, want 1", fourthFired)
+	}
+}
+
+// TestRecyclingStress randomizes schedule/cancel/run interleavings over a
+// heavily recycled pool and asserts the exactly-once discipline: every
+// callback that was not cancelled fires exactly once, every cancelled one
+// fires zero times, and stale handles (kept across recycles and cancelled
+// at random) never suppress or duplicate anybody else's callback.
+func TestRecyclingStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := NewEngine()
+	fired := map[int]int{}
+	cancelled := map[int]bool{}
+	type tracked struct {
+		h  Handle
+		id int
+	}
+	var livehs []tracked  // handles to still-pending events
+	var stalehs []tracked // handles kept past their event's lifetime
+	nextID := 0
+	total := 0
+
+	for round := 0; round < 200; round++ {
+		// Schedule a burst.
+		for i := 0; i < rng.Intn(20)+1; i++ {
+			id := nextID
+			nextID++
+			h, err := e.ScheduleAfter(rng.Float64()*5, "stress", func(*Engine) { fired[id]++ })
+			if err != nil {
+				t.Fatal(err)
+			}
+			livehs = append(livehs, tracked{h, id})
+			total++
+		}
+		// Cancel some pending events for real.
+		for i := 0; i < len(livehs)/4; i++ {
+			j := rng.Intn(len(livehs))
+			if !cancelled[livehs[j].id] && livehs[j].h.Scheduled() {
+				livehs[j].h.Cancel()
+				cancelled[livehs[j].id] = true
+			}
+		}
+		// Fire stale cancels from old generations — must all be no-ops.
+		for i := 0; i < len(stalehs) && i < 8; i++ {
+			stalehs[rng.Intn(len(stalehs))].h.Cancel()
+		}
+		// Run part of the timeline, retiring handles that completed.
+		if err := e.RunUntil(e.Now() + rng.Float64()*4); err != nil {
+			t.Fatal(err)
+		}
+		keep := livehs[:0]
+		for _, tr := range livehs {
+			if tr.h.Scheduled() {
+				keep = append(keep, tr)
+			} else {
+				stalehs = append(stalehs, tr)
+			}
+		}
+		livehs = keep
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < nextID; id++ {
+		want := 1
+		if cancelled[id] {
+			want = 0
+		}
+		if fired[id] != want {
+			t.Fatalf("callback %d fired %d times, want %d (cancelled=%v)",
+				id, fired[id], want, cancelled[id])
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still pending after drain", e.Pending())
+	}
+	if total != nextID {
+		t.Fatalf("bookkeeping error: %d scheduled, %d ids", total, nextID)
+	}
+}
+
+// TestReleaseTwicePanics pins the pool's double-free guard: releasing the
+// same Event twice is a bug in the engine, and it must fail loudly rather
+// than corrupt the free list.
+func TestReleaseTwicePanics(t *testing.T) {
+	e := NewEngine()
+	ev := e.alloc()
+	ev.name = "dup"
+	e.release(ev)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	e.release(ev)
+}

@@ -153,7 +153,7 @@ func (e *Engine) collectWindow(horizon float64, bounded bool) {
 	for e.queue.Len() > 0 && len(e.win) < maxWindowEvents {
 		ev := e.queue.Peek()
 		if ev.cancelled {
-			e.queue.Pop()
+			e.release(e.queue.Pop())
 			continue
 		}
 		if ev.at > end {
@@ -239,19 +239,18 @@ func (e *Engine) drainWindow() error {
 		ev := e.win[e.winPos]
 		if ev.cancelled {
 			e.winPos++
+			e.release(ev)
 			continue
 		}
 		if e.queue.Len() > 0 {
 			h := e.queue.Peek()
 			if h.cancelled {
-				e.queue.Pop()
+				e.release(e.queue.Pop())
 				continue
 			}
 			if h.at < ev.at || (h.at == ev.at && h.seq < ev.seq) {
 				e.queue.Pop()
-				e.now = h.at
-				e.executed++
-				h.fn(e)
+				e.fire(h)
 				if e.stopped {
 					return e.stopMidWindow()
 				}
@@ -259,9 +258,7 @@ func (e *Engine) drainWindow() error {
 			}
 		}
 		e.winPos++
-		e.now = ev.at
-		e.executed++
-		ev.fn(e)
+		e.fire(ev)
 		if e.stopped {
 			return e.stopMidWindow()
 		}
@@ -277,6 +274,7 @@ func (e *Engine) drainWindow() error {
 func (e *Engine) stopMidWindow() error {
 	for _, ev := range e.win[e.winPos:] {
 		if ev.cancelled {
+			e.release(ev)
 			continue
 		}
 		ev.queue = &e.queue

@@ -261,7 +261,7 @@ func TestStoppedRunDrainsTombstones(t *testing.T) {
 				e.SetShards(shards)
 				e.SetPreparer(c.prepare, c.safe)
 			}
-			var doomed []*Event
+			var doomed []Handle
 			for i := 0; i < 4; i++ {
 				at := 1 + float64(i)*0.01
 				k := i % len(c.t)

@@ -1,19 +1,17 @@
 package sim
 
-import "fmt"
-
 // Ticker invokes a callback at a fixed virtual-time period until stopped.
 // It is the building block for telemetry samplers (shunt monitors at 1 kHz,
 // pmu_pub at 2 Hz, stats_pub at 0.2 Hz).
+//
+// A Ticker is a thin adapter over the engine's recurring-timer API
+// (ScheduleEvery): one Event is scheduled at construction and rescheduled
+// in place after every tick, so steady-state ticking allocates nothing.
+// Tick times accumulate as at += period from the start instant — the same
+// arithmetic the historical self-rescheduling implementation performed —
+// so traces are byte-identical to it and drift-free.
 type Ticker struct {
-	engine *Engine
-	period float64
-	name   string
-	fn     func(now float64)
-	keys   []int // nil for barrier ticks; shard keys for affine ticks
-
-	next    *Event
-	stopped bool
+	h Handle
 }
 
 // NewTicker schedules fn every period seconds starting at start (absolute
@@ -26,54 +24,27 @@ func NewTicker(engine *Engine, start, period float64, name string, fn func(now f
 // model state owned by the given shard keys (a per-node telemetry sampler,
 // keyed by its node). Affine ticks do not terminate lookahead windows and
 // their keyed state is prepared concurrently; the publish side of the
-// callback still runs serially like every callback. The ticker keeps the
+// callback still runs serially like every callback. The engine keeps the
 // keys slice; callers must not mutate it.
 func NewAffineTicker(engine *Engine, start, period float64, name string, keys []int, fn func(now float64)) (*Ticker, error) {
 	return newTicker(engine, start, period, name, keys, fn)
 }
 
 func newTicker(engine *Engine, start, period float64, name string, keys []int, fn func(now float64)) (*Ticker, error) {
-	if period <= 0 {
-		return nil, fmt.Errorf("sim: ticker %q: period must be positive, got %v", name, period)
+	tick := func(e *Engine) { fn(e.Now()) }
+	var h Handle
+	var err error
+	if keys != nil {
+		h, err = engine.ScheduleEveryAffine(start, period, name, keys, tick)
+	} else {
+		h, err = engine.ScheduleEvery(start, period, name, tick)
 	}
-	t := &Ticker{engine: engine, period: period, name: name, keys: keys, fn: fn}
-	ev, err := t.schedule(start)
 	if err != nil {
 		return nil, err
 	}
-	t.next = ev
-	return t, nil
+	return &Ticker{h: h}, nil
 }
 
-// schedule registers the next tick at absolute time at, keyed when affine.
-func (t *Ticker) schedule(at float64) (*Event, error) {
-	if t.keys != nil {
-		return t.engine.ScheduleAtAffine(at, t.name, t.keys, t.tick)
-	}
-	return t.engine.ScheduleAt(at, t.name, t.tick)
-}
-
-// Stop cancels future ticks. Safe to call multiple times.
-func (t *Ticker) Stop() {
-	t.stopped = true
-	if t.next != nil {
-		t.next.Cancel()
-		t.next = nil
-	}
-}
-
-func (t *Ticker) tick(e *Engine) {
-	if t.stopped {
-		return
-	}
-	t.fn(e.Now())
-	if t.stopped { // fn may have called Stop
-		return
-	}
-	ev, err := t.schedule(e.Now() + t.period)
-	if err != nil {
-		// Unreachable: period is validated positive and now only advances.
-		panic(fmt.Sprintf("sim: ticker %q reschedule: %v", t.name, err))
-	}
-	t.next = ev
-}
+// Stop cancels future ticks. Safe to call multiple times and from within
+// the tick callback itself.
+func (t *Ticker) Stop() { t.h.Cancel() }

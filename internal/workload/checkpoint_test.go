@@ -20,11 +20,11 @@ func TestRestartPointPhased(t *testing.T) {
 	m := phasedModel() // 100 s cycle with boundaries at 30 and 100
 	cases := []struct{ elapsed, want float64 }{
 		{0, 0},
-		{10, 0},     // inside phase a: nothing completed
-		{30, 30},    // exactly the a/b boundary
-		{99, 30},    // inside phase b
-		{100, 100},  // one whole cycle
-		{250, 230},  // 2 cycles + phase a
+		{10, 0},      // inside phase a: nothing completed
+		{30, 30},     // exactly the a/b boundary
+		{99, 30},     // inside phase b
+		{100, 100},   // one whole cycle
+		{250, 230},   // 2 cycles + phase a
 		{300, 300},   // exact cycle multiple
 		{329.9, 300}, // tail inside phase a of cycle 4
 	}

@@ -55,8 +55,16 @@ type Execution struct {
 
 	keys    []int // shard keys for the allocation; nil when ops can't map
 	phase   int
-	next    *sim.Event
+	next    sim.Handle
 	stopped bool
+
+	// Transition plumbing built once in Start: the event label and the
+	// rescheduling callback are identical for every transition of this
+	// execution, so per-phase scheduling allocates neither a string nor a
+	// closure (phase cycles are the second-densest event source after
+	// telemetry ticks).
+	transName string
+	transFn   func(*sim.Engine)
 }
 
 // Start installs the model's first phase on the hosts and schedules the
@@ -98,6 +106,11 @@ func Start(engine *sim.Engine, ops NodeOps, m *Model, hosts []string, opts ExecO
 		}
 		return ex, nil
 	}
+	ex.transName = "workload.phase(" + m.Name + ")"
+	ex.transFn = func(*sim.Engine) {
+		ex.next = sim.Handle{}
+		_ = ex.install((ex.phase+1)%len(ex.model.Phases), false)
+	}
 	if err := ex.install(0, true); err != nil {
 		return nil, err
 	}
@@ -113,10 +126,6 @@ func (ex *Execution) install(i int, first bool) error {
 	if first && err != nil {
 		return err
 	}
-	fn := func(*sim.Engine) {
-		ex.next = nil
-		_ = ex.install((ex.phase+1)%len(ex.model.Phases), false)
-	}
 	// A phase transition only re-drives the nodes of its own allocation,
 	// so with shard keys in hand it is affine: a sharded engine prefetches
 	// the allocation's physics instead of closing the window.
@@ -124,12 +133,12 @@ func (ex *Execution) install(i int, first bool) error {
 	if ex.opts.SlowFactor > 1 {
 		dur *= ex.opts.SlowFactor
 	}
-	var ev *sim.Event
+	var ev sim.Handle
 	var serr error
 	if ex.keys != nil {
-		ev, serr = ex.engine.ScheduleAfterAffine(dur, "workload.phase("+ex.model.Name+")", ex.keys, fn)
+		ev, serr = ex.engine.ScheduleAfterAffine(dur, ex.transName, ex.keys, ex.transFn)
 	} else {
-		ev, serr = ex.engine.ScheduleAfter(dur, "workload.phase("+ex.model.Name+")", fn)
+		ev, serr = ex.engine.ScheduleAfter(dur, ex.transName, ex.transFn)
 	}
 	if serr != nil {
 		// Unreachable: phase durations are validated positive.
@@ -155,9 +164,7 @@ func (ex *Execution) Stop() {
 		return
 	}
 	ex.stopped = true
-	if ex.next != nil {
-		ex.next.Cancel()
-		ex.next = nil
-	}
+	ex.next.Cancel()
+	ex.next = sim.Handle{}
 	ex.ops.ClearWorkloadOn(ex.hosts)
 }
