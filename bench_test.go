@@ -20,6 +20,7 @@ import (
 	"montecimone/internal/core"
 	"montecimone/internal/examon"
 	"montecimone/internal/fault"
+	"montecimone/internal/fleet"
 	"montecimone/internal/hpl"
 	"montecimone/internal/mpi"
 	"montecimone/internal/netsim"
@@ -783,6 +784,78 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 			}
 			runChaos(b, spec)
 		})
+	}
+}
+
+// BenchmarkFleetThroughput drives the federated multi-cluster runner at
+// 1, 2, 4 and 8 clusters, each fleet carrying two campaigns per cluster
+// (the meta-scheduler's queue penalty spreads them evenly across the
+// identical clusters), at worker-pool widths 1 and one-per-cluster. The
+// jobs/s metric is drained jobs per wall-clock second across the whole
+// fleet; width is the realized high-water mark of concurrently executing
+// clusters. Routing is a serial pre-pass, so per-campaign cost must stay
+// flat as the cluster count grows — the fleet axis adds no cross-cluster
+// coordination — and on multi-core hosts jobs/s scales with workers
+// (single-core CI sees flat cost only; width still reports the available
+// parallelism).
+func BenchmarkFleetThroughput(b *testing.B) {
+	mkFleet := func(clusters int) fleet.Spec {
+		s := fleet.Spec{Name: "bench", Seed: 1}
+		for i := 0; i < clusters; i++ {
+			s.Clusters = append(s.Clusters, fleet.ClusterSpec{
+				ID: fmt.Sprintf("c%02d", i), Nodes: 8, Mitigated: true,
+			})
+		}
+		var subs []fleet.Submission
+		for i := 0; i < 2*clusters; i++ {
+			subs = append(subs, fleet.Submission{
+				// Arrivals 1 s apart: every campaign is routed while its
+				// predecessors are still resident, so the queue penalty
+				// round-robins them across the identical clusters.
+				ArriveS: float64(i),
+				Spec: campaign.Spec{
+					Name: fmt.Sprintf("camp%02d", i), HorizonS: 2000,
+					Jobs: []campaign.JobEntry{
+						{Name: "a", Workload: "qe", Nodes: 2, SubmitS: 0, DurationS: 120},
+						{Name: "b", Workload: "stream.ddr", Nodes: 1, SubmitS: 60, DurationS: 180},
+						{Name: "c", Workload: "stream.l2", Nodes: 2, SubmitS: 120, DurationS: 150},
+						{Name: "d", Workload: "qe", Nodes: 4, SubmitS: 200, DurationS: 100},
+					},
+				},
+			})
+		}
+		s.Tenants = []fleet.TenantSpec{{Name: "bench", Campaigns: subs}}
+		return s
+	}
+	for _, clusters := range []int{1, 2, 4, 8} {
+		workerCases := []int{1}
+		if clusters > 1 {
+			workerCases = append(workerCases, clusters)
+		}
+		for _, workers := range workerCases {
+			clusters, workers := clusters, workers
+			b.Run(fmt.Sprintf("clusters%d/workers%d", clusters, workers), func(b *testing.B) {
+				spec := mkFleet(clusters)
+				jobs, width := 0, 0
+				for i := 0; i < b.N; i++ {
+					res, err := fleet.Run(spec, workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, cres := range res.Campaigns {
+						if cres.Unfinished > 0 {
+							b.Fatalf("%d jobs unfinished at the horizon", cres.Unfinished)
+						}
+						jobs += len(cres.Jobs)
+					}
+					if res.Stats.MaxActive > width {
+						width = res.Stats.MaxActive
+					}
+				}
+				b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
+				b.ReportMetric(float64(width), "width")
+			})
+		}
 	}
 }
 

@@ -14,11 +14,19 @@
 // P percent, turning the diff into a CI gate; -gate narrows the gating to
 // a comma-separated unit subset (CI gates allocs/op only — allocation
 // counts are deterministic, shared-runner wall times are not).
+//
+// A missing old (baseline) file is not an error: the first run of a CI
+// job has no cached baseline yet, so benchdiff prints a clear one-line
+// message and exits 0 — the current run's output becomes the baseline
+// the next run diffs against. A missing NEW file is still an error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"sort"
 	"strings"
@@ -46,8 +54,17 @@ func main() {
 	}
 }
 
-func run(w *os.File, oldPath, newPath string, failOver float64, gateUnits []string) error {
+func run(w io.Writer, oldPath, newPath string, failOver float64, gateUnits []string) error {
 	oldRuns, err := benchparse.ParseFile(oldPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		// First run of a CI job: no cached baseline exists yet. Validate the
+		// new file anyway (it seeds the cache), report, and succeed.
+		if _, nerr := benchparse.ParseFile(newPath); nerr != nil {
+			return nerr
+		}
+		fmt.Fprintf(w, "no baseline at %s; nothing to diff (this run's output seeds the baseline)\n", oldPath)
+		return nil
+	}
 	if err != nil {
 		return err
 	}

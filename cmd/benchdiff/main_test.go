@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldBench = `goos: linux
+BenchmarkCampaignThroughput/phased/64nodes-4   10   1000000 ns/op   2048 B/op   100 allocs/op   250.0 jobs/s
+BenchmarkFleetThroughput/clusters2/workers2-4   5   2000000 ns/op   4096 B/op   200 allocs/op   500.0 jobs/s
+`
+
+const newBench = `goos: linux
+BenchmarkCampaignThroughput/phased/64nodes-4   10   1100000 ns/op   2048 B/op   150 allocs/op   300.0 jobs/s
+BenchmarkFleetThroughput/clusters2/workers2-4   5   1900000 ns/op   4096 B/op   200 allocs/op   520.0 jobs/s
+`
+
+// A missing baseline is the first run of a CI job, not an error: clear
+// message, exit success, new file validated because it seeds the cache.
+func TestMissingBaselineIsGraceful(t *testing.T) {
+	dir := t.TempDir()
+	newPath := writeBench(t, dir, "new.txt", newBench)
+	var sb strings.Builder
+	if err := run(&sb, filepath.Join(dir, "absent.txt"), newPath, 25, []string{"allocs/op"}); err != nil {
+		t.Fatalf("missing baseline errored: %v", err)
+	}
+	if !strings.Contains(sb.String(), "no baseline") || !strings.Contains(sb.String(), "seeds the baseline") {
+		t.Errorf("unclear message: %q", sb.String())
+	}
+	// A missing or empty NEW file is still an error even without a baseline.
+	if err := run(&sb, filepath.Join(dir, "absent.txt"), filepath.Join(dir, "alsoabsent.txt"), 0, nil); err == nil {
+		t.Error("missing new file not reported")
+	}
+	empty := writeBench(t, dir, "empty.txt", "no bench lines here\n")
+	if err := run(&sb, filepath.Join(dir, "absent.txt"), empty, 0, nil); err == nil {
+		t.Error("unparseable new file not reported")
+	}
+}
+
+// Custom units (jobs/s) must appear in the delta table alongside the
+// allocator and time columns.
+func TestDiffReportsCustomUnits(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.txt", oldBench)
+	newPath := writeBench(t, dir, "new.txt", newBench)
+	var sb strings.Builder
+	if err := run(&sb, oldPath, newPath, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"jobs/s", "allocs/op", "ns/op",
+		"BenchmarkFleetThroughput/clusters2/workers2", "+20.0%", "+4.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The allocs/op gate fires on the 50% regression; jobs/s gains never gate.
+func TestGateFiresOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.txt", oldBench)
+	newPath := writeBench(t, dir, "new.txt", newBench)
+	var sb strings.Builder
+	err := run(&sb, oldPath, newPath, 25, []string{"allocs/op"})
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("err = %v, want allocs/op gate failure", err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Error("regression block missing from output")
+	}
+	// Gating ns/op only: the 10% time regression is under 25%, so it passes.
+	sb.Reset()
+	if err := run(&sb, oldPath, newPath, 25, []string{"ns/op"}); err != nil {
+		t.Fatalf("ns/op gate at 25%% fired on a 10%% drift: %v", err)
+	}
+}

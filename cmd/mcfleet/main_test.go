@@ -1,0 +1,51 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const smokeSpec = "../../internal/fleet/testdata/smoke.json"
+
+func TestRunRequiresSpec(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", 0, false, "", ""); err == nil || !strings.Contains(err.Error(), "-fleet") {
+		t.Fatalf("err = %v, want missing-spec error", err)
+	}
+	if err := run(&sb, smokeSpec, -1, false, "", ""); err == nil || !strings.Contains(err.Error(), "fleet-workers") {
+		t.Fatalf("err = %v, want negative-workers error", err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, filepath.Join(t.TempDir(), "nope.json"), 1, false, "", ""); err == nil {
+		t.Fatal("missing spec file not reported")
+	}
+}
+
+// The CLI determinism contract: stdout is byte-identical across pool
+// widths (the same check CI runs with cmp against the built binary).
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet run")
+	}
+	render := func(workers int) string {
+		var sb strings.Builder
+		if err := run(&sb, smokeSpec, workers, true, "", ""); err != nil {
+			t.Fatalf("run (workers=%d): %v", workers, err)
+		}
+		return sb.String()
+	}
+	base := render(1)
+	if !strings.Contains(base, "fleet \"fleet-smoke\"") {
+		t.Fatalf("report header missing:\n%s", base[:200])
+	}
+	if !strings.Contains(base, "routing:") || !strings.Contains(base, "=== cluster bologna ===") {
+		t.Error("routing table or event logs missing")
+	}
+	if got := render(4); got != base {
+		t.Error("stdout differs between -fleet-workers 1 and 4")
+	}
+}

@@ -39,6 +39,12 @@ type Result struct {
 	GoodputPct      float64
 	Requeues        int
 
+	// PeakQueueDepth is the deepest pending queue observed at any
+	// submission instant — the backlog probe fleet reports roll up. Not
+	// rendered in the campaign report (which predates it and must stay
+	// byte-stable).
+	PeakQueueDepth int
+
 	// Telemetry and power plane, when the spec enabled them.
 	BrokerMessages uint64
 	StoredSeries   int

@@ -49,6 +49,11 @@ type Runner struct {
 	events   []string
 	execs    map[int]*workload.Execution // by scheduler job id
 	ctrl     *fault.Controller           // nil without a fault block
+
+	// peakQueue is the deepest pending queue seen at any submission
+	// instant (sched.Scheduler.QueueDepth) — the per-cluster backlog
+	// signal fleet reports aggregate.
+	peakQueue int
 }
 
 // NewRunner validates and expands the spec, boots the system (applying
@@ -68,6 +73,9 @@ func NewRunner(spec Spec) (*Runner, error) {
 		PowerBudgetW:   spec.PowerBudgetW,
 		HPMPatch:       spec.Monitor,
 		Shards:         spec.Shards,
+		Org:            spec.Org,
+		ClusterTag:     spec.ClusterTag,
+		AmbientC:       spec.AmbientC,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
@@ -194,6 +202,9 @@ func (r *Runner) submit(entry JobEntry, out *JobOutcome) {
 		r.logf("t=%10.1f reject %-18s %v", r.sys.Engine.Now()-r.startT, entry.Name, err)
 		return
 	}
+	if pending, _ := r.sys.Scheduler.QueueDepth(); pending > r.peakQueue {
+		r.peakQueue = pending
+	}
 	r.logf("t=%10.1f submit %-18s job=%-4d nodes=%d", r.sys.Engine.Now()-r.startT, entry.Name, job.ID, entry.Nodes)
 }
 
@@ -238,6 +249,7 @@ func (r *Runner) Result() *Result {
 	}
 	res.BrokerMessages = r.sys.Broker.Published()
 	res.StoredSeries = r.sys.DB.SeriesCount()
+	res.PeakQueueDepth = r.peakQueue
 	if r.sys.Plane != nil {
 		snap := r.sys.Plane.Snapshot()
 		res.Plane = &snap

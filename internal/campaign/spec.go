@@ -107,6 +107,16 @@ type Spec struct {
 	// run the serial engine; any count produces byte-identical reports and
 	// event logs (sharding is a wall-clock knob, not a model knob).
 	Shards int `json:"shards,omitempty"`
+	// Org and ClusterTag scope the campaign's telemetry samples — the
+	// fleet runner stamps each routed campaign with its cluster's
+	// identity so federated queries can select one cluster's series.
+	// Empty keeps the ExaMon defaults (byte-identical reports).
+	Org        string `json:"org,omitempty"`
+	ClusterTag string `json:"cluster,omitempty"`
+	// AmbientC overrides the machine-room inlet temperature in °C
+	// (0 keeps the paper's 25 °C room). Heterogeneous fleet sites set it
+	// per cluster; hotter rooms boot closer to the 107 °C trip.
+	AmbientC float64 `json:"ambient_c,omitempty"`
 	// Faults enables the chaos machinery: the block compiles into a
 	// deterministic fault timeline (crashes, thermal runaways, brownouts,
 	// network degradation, stragglers) and switches on NODE_FAIL
@@ -167,6 +177,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Shards < 0 {
 		return fmt.Errorf("campaign: spec %q: shards must be >= 0, got %d", s.Name, s.Shards)
+	}
+	if s.AmbientC < 0 {
+		return fmt.Errorf("campaign: spec %q: ambient_c must be >= 0, got %v", s.Name, s.AmbientC)
 	}
 	if s.Policy != "" {
 		if _, err := sched.PolicyByName(s.Policy); err != nil {
@@ -241,6 +254,99 @@ func (s *Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Demand is a campaign's deterministic resource-demand estimate: what the
+// fleet meta-scheduler prices a campaign at before routing it, without
+// expanding the job stream (no RNG draws — adding a meta-level consumer
+// must never perturb the campaign's own generator streams).
+type Demand struct {
+	// Jobs is the number of jobs the spec expands to.
+	Jobs int
+	// MaxWidth is the widest single job the spec can produce — the
+	// feasibility floor for a hosting cluster's node count.
+	MaxWidth int
+	// NodeSeconds is the expected node-seconds of useful work.
+	NodeSeconds float64
+	// LongestS is the longest single-job duration estimate — a lower
+	// bound on the campaign's busy time however many nodes are free.
+	LongestS float64
+	// ByWorkload splits NodeSeconds per workload name, so power-aware
+	// scorers can weight each workload's calibrated activity profile.
+	ByWorkload map[string]float64
+}
+
+// Demand computes the spec's demand estimate. Mix entries contribute
+// expectation values (mean node width, pick probability); explicit jobs
+// contribute exactly. Durations come from the pinned DurationS or the
+// model's runtime estimate at the mean width — jitter is not applied, so
+// the estimate is a pure function of the spec.
+func (s *Spec) Demand() (Demand, error) {
+	d := Demand{ByWorkload: make(map[string]float64)}
+	add := func(workloadName string, nodes int, nodeSeconds, durS float64) {
+		d.Jobs++
+		if nodes > d.MaxWidth {
+			d.MaxWidth = nodes
+		}
+		if durS > d.LongestS {
+			d.LongestS = durS
+		}
+		d.NodeSeconds += nodeSeconds
+		d.ByWorkload[workloadName] += nodeSeconds
+	}
+	for _, j := range s.Jobs {
+		dur := j.DurationS
+		if dur == 0 {
+			dur = j.TimeLimitS
+		}
+		add(j.Workload, j.Nodes, float64(j.Nodes)*dur, dur)
+	}
+	if s.Arrival != nil {
+		total := 0.0
+		for _, m := range s.Mix {
+			total += m.Weight
+		}
+		// Expected node-seconds of one arrival, split per entry by pick
+		// probability; every arrival contributes the same expectation.
+		type entryEst struct {
+			name     string
+			p        float64
+			meanW    float64
+			durS     float64
+			maxNodes int
+		}
+		ests := make([]entryEst, 0, len(s.Mix))
+		for _, m := range s.Mix {
+			lo, hi := m.nodeBounds()
+			mean := float64(lo+hi) / 2
+			dur := m.DurationS
+			if dur == 0 {
+				model, err := workload.Lookup(m.Workload)
+				if err != nil {
+					return Demand{}, err
+				}
+				est, err := model.Runtime(int(mean + 0.5))
+				if err != nil {
+					return Demand{}, fmt.Errorf("campaign: demand estimate for %s: %w", m.Workload, err)
+				}
+				dur = est
+			}
+			ests = append(ests, entryEst{name: m.Workload, p: m.Weight / total, meanW: mean, durS: dur, maxNodes: hi})
+		}
+		d.Jobs += s.Arrival.Jobs
+		for _, e := range ests {
+			ns := float64(s.Arrival.Jobs) * e.p * e.meanW * e.durS
+			d.NodeSeconds += ns
+			d.ByWorkload[e.name] += ns
+			if e.maxNodes > d.MaxWidth {
+				d.MaxWidth = e.maxNodes
+			}
+			if e.durS > d.LongestS {
+				d.LongestS = e.durS
+			}
+		}
+	}
+	return d, nil
 }
 
 // nodeBounds applies the 1/1 defaults.

@@ -33,6 +33,13 @@ type Config struct {
 	// Enclosure is the initial chassis configuration; defaults to the
 	// paper's original lid-on build.
 	Enclosure *thermal.Enclosure
+	// AmbientC overrides the machine-room inlet temperature of the
+	// default enclosure (ignored when Enclosure is set explicitly). 0
+	// keeps the paper's 25 °C room. Fleet clusters use it to model
+	// heterogeneous sites: a hot container farm boots closer to the trip
+	// point than a chilled machine room, which the meta-scheduler's
+	// thermal-headroom score sees.
+	AmbientC float64
 	// Link is the MPI fabric; defaults to netsim.GigabitEthernet().
 	Link *netsim.Link
 	// HPMPatch applies the U-Boot counter patch on all nodes.
@@ -77,6 +84,7 @@ type Cluster struct {
 
 	stepPeriod float64
 	lockStep   bool
+	ambientC   float64 // configured machine-room inlet temperature
 	ticker     *sim.Ticker
 	onHalt     []func(hostname string)
 	onBoot     []func(hostname string)
@@ -118,6 +126,11 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 	enc := thermal.DefaultEnclosure()
 	if cfg.Enclosure != nil {
 		enc = *cfg.Enclosure
+	} else if cfg.AmbientC != 0 {
+		if cfg.AmbientC < 0 || cfg.AmbientC >= thermal.TripTempC {
+			return nil, fmt.Errorf("cluster: ambient %v °C outside [0,%v)", cfg.AmbientC, thermal.TripTempC)
+		}
+		enc.AmbientC = cfg.AmbientC
 	}
 	link := netsim.GigabitEthernet()
 	if cfg.Link != nil {
@@ -144,6 +157,7 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 		nvmes:      make(map[string]*storage.NVMe, n),
 		stepPeriod: period,
 		lockStep:   cfg.LockStep,
+		ambientC:   enc.AmbientC,
 	}
 	// The integration step is the cluster's conservative lookahead floor:
 	// after any input change a node's next transition deadline lies at
@@ -492,11 +506,16 @@ func (c *Cluster) ClearWorkloadOn(hosts []string) {
 	}
 }
 
+// AmbientC returns the configured machine-room inlet temperature.
+func (c *Cluster) AmbientC() float64 { return c.ambientC }
+
 // ApplyAirflowMitigation removes the blade lids and increases the vertical
 // spacing (the paper's fix after the node-7 thermal hazard), and returns
-// halted nodes to service after a power cycle.
+// halted nodes to service after a power cycle. The configured ambient
+// temperature is preserved — taking the lid off does not re-chill the
+// room.
 func (c *Cluster) ApplyAirflowMitigation() error {
-	enc := thermal.Enclosure{AmbientC: 25, LidOn: false}
+	enc := thermal.Enclosure{AmbientC: c.ambientC, LidOn: false}
 	for _, nd := range c.nodes {
 		if err := nd.SetEnclosure(enc); err != nil {
 			return fmt.Errorf("cluster: %w", err)

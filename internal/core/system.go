@@ -67,6 +67,14 @@ type Options struct {
 	// byte-identical at every shard count — sharding changes wall-clock
 	// only, never virtual-time behaviour.
 	Shards int
+	// Org and Cluster scope every telemetry sample the system publishes
+	// (plugins and the power plane). Empty keeps the ExaMon defaults —
+	// byte-identical to the pre-fleet stack. Fleet workers set Cluster to
+	// the cluster ID so federated samples stay attributable.
+	Org, ClusterTag string
+	// AmbientC overrides the machine-room inlet temperature (0 keeps the
+	// paper's 25 °C). Fleet clusters model heterogeneous sites with it.
+	AmbientC float64
 }
 
 // System is the assembled testbed.
@@ -106,6 +114,7 @@ func NewSystem(opts Options) (*System, error) {
 		StepPeriod:     opts.StepPeriod,
 		SyntheticSlots: opts.SyntheticSlots,
 		LockStep:       opts.LockStep,
+		AmbientC:       opts.AmbientC,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -140,6 +149,8 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.PowerBudgetW > 0 {
 		plane, err = powerplane.New(engine, cl, db, broker, powerplane.Config{
 			BudgetW: opts.PowerBudgetW,
+			Org:     opts.Org,
+			Cluster: opts.ClusterTag,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
@@ -186,18 +197,18 @@ func NewSystem(opts Options) (*System, error) {
 	})
 	for i := 0; i < cl.Size(); i++ {
 		nd := cl.Node(i)
-		pmu, err := examon.NewPMUPub(broker, nd, "", "")
+		pmu, err := examon.NewPMUPub(broker, nd, opts.Org, opts.ClusterTag)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		stats, err := examon.NewStatsPub(broker, nd, "", "")
+		stats, err := examon.NewStatsPub(broker, nd, opts.Org, opts.ClusterTag)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		s.pmuPubs = append(s.pmuPubs, pmu)
 		s.statsPubs = append(s.statsPubs, stats)
 		if plane != nil {
-			pp, err := examon.NewPowerPub(broker, nd, "", "")
+			pp, err := examon.NewPowerPub(broker, nd, opts.Org, opts.ClusterTag)
 			if err != nil {
 				return nil, fmt.Errorf("core: %w", err)
 			}

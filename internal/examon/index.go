@@ -12,26 +12,35 @@ package examon
 // benchmarked ablation, mirroring sched.WithLinearScan.
 
 // tagIndex is the per-engine (per-shard for ShardedStore) inverted index.
-// It is guarded by the owning engine's lock.
+// It is guarded by the owning engine's lock. The scoping dimensions (Org,
+// Cluster) are indexed under a series' first-seen tags — the same tags
+// Filter.matches verifies against — so federated stores holding several
+// clusters' series answer per-cluster selections without a full walk.
 type tagIndex struct {
-	byNode   map[string][]int32
-	byPlugin map[string][]int32
-	byMetric map[string][]int32
-	byCore   map[int][]int32
+	byOrg     map[string][]int32
+	byCluster map[string][]int32
+	byNode    map[string][]int32
+	byPlugin  map[string][]int32
+	byMetric  map[string][]int32
+	byCore    map[int][]int32
 }
 
 func newTagIndex() *tagIndex {
 	return &tagIndex{
-		byNode:   make(map[string][]int32),
-		byPlugin: make(map[string][]int32),
-		byMetric: make(map[string][]int32),
-		byCore:   make(map[int][]int32),
+		byOrg:     make(map[string][]int32),
+		byCluster: make(map[string][]int32),
+		byNode:    make(map[string][]int32),
+		byPlugin:  make(map[string][]int32),
+		byMetric:  make(map[string][]int32),
+		byCore:    make(map[int][]int32),
 	}
 }
 
 // add indexes a newly created series at the given creation-order position.
 func (ix *tagIndex) add(pos int, t Tags) {
 	p := int32(pos)
+	ix.byOrg[t.Org] = append(ix.byOrg[t.Org], p)
+	ix.byCluster[t.Cluster] = append(ix.byCluster[t.Cluster], p)
 	ix.byNode[t.Node] = append(ix.byNode[t.Node], p)
 	ix.byPlugin[t.Plugin] = append(ix.byPlugin[t.Plugin], p)
 	ix.byMetric[t.Metric] = append(ix.byMetric[t.Metric], p)
@@ -48,6 +57,12 @@ func (ix *tagIndex) candidates(f Filter) (posting []int32, ok bool) {
 		if !ok || len(list) < len(posting) {
 			posting, ok = list, true
 		}
+	}
+	if f.Org != "" {
+		consider(ix.byOrg[f.Org])
+	}
+	if f.Cluster != "" {
+		consider(ix.byCluster[f.Cluster])
 	}
 	if f.Node != "" {
 		consider(ix.byNode[f.Node])

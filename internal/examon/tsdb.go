@@ -77,6 +77,14 @@ func (db *TSDB) InsertBatch(batch []Sample) { db.store.InsertBatch(batch) }
 
 // Filter selects series for a query; zero fields match everything.
 type Filter struct {
+	// Org and Cluster match the series' scoping tags exactly when
+	// non-empty. Scoping tags are not part of series identity — a series
+	// keeps its first-seen Org/Cluster — so these dimensions matter for
+	// federated stores where samples from several clusters land in one
+	// engine under distinct node names (the fleet runner's federation
+	// tier): a Cluster filter then selects exactly one cluster's series.
+	Org     string
+	Cluster string
 	// Node, Plugin and Metric match tag values exactly when non-empty.
 	Node   string
 	Plugin string
@@ -95,6 +103,12 @@ type Filter struct {
 }
 
 func (f Filter) matches(t Tags) bool {
+	if f.Org != "" && f.Org != t.Org {
+		return false
+	}
+	if f.Cluster != "" && f.Cluster != t.Cluster {
+		return false
+	}
 	if f.Node != "" && f.Node != t.Node {
 		return false
 	}

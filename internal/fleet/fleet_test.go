@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"montecimone/internal/examon"
+)
+
+// render runs the smoke fleet at the given pool width and returns the
+// report and event-log bytes.
+func render(t *testing.T, workers int) (report, events []byte) {
+	t.Helper()
+	res, err := Run(loadSmoke(t), workers)
+	if err != nil {
+		t.Fatalf("run (workers=%d): %v", workers, err)
+	}
+	var rep, ev bytes.Buffer
+	if err := res.WriteReport(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteEventLogs(&ev); err != nil {
+		t.Fatal(err)
+	}
+	return rep.Bytes(), ev.Bytes()
+}
+
+// The fleet determinism contract: the report and every cluster's event
+// log are byte-identical at any worker-pool width.
+func TestFleetDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet run")
+	}
+	baseRep, baseEv := render(t, 1)
+	if len(baseEv) == 0 {
+		t.Fatal("empty event log")
+	}
+	for _, workers := range []int{2, 4, 0} {
+		rep, ev := render(t, workers)
+		if !bytes.Equal(rep, baseRep) {
+			t.Errorf("report differs at workers=%d", workers)
+		}
+		if !bytes.Equal(ev, baseEv) {
+			t.Errorf("event logs differ at workers=%d", workers)
+		}
+	}
+}
+
+func TestFleetWorkerStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet run")
+	}
+	res, err := Run(loadSmoke(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Workers != 3 || st.Clusters != 3 {
+		t.Errorf("stats = %+v, want 3 workers over 3 clusters", st)
+	}
+	if st.CampaignsRun != len(res.Assignments) {
+		t.Errorf("campaigns run = %d, want %d", st.CampaignsRun, len(res.Assignments))
+	}
+	if st.MaxActive < 1 || st.MaxActive > st.Workers {
+		t.Errorf("max active = %d, want within [1,%d]", st.MaxActive, st.Workers)
+	}
+	// A width-1 pool can never overlap clusters.
+	res1, err := Run(loadSmoke(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Stats.MaxActive != 1 {
+		t.Errorf("workers=1 max active = %d, want 1", res1.Stats.MaxActive)
+	}
+	// The pool clamps to the cluster count.
+	res8, err := Run(loadSmoke(t), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res8.Stats.Workers != 3 {
+		t.Errorf("workers=8 resolved to %d, want clamp to 3 clusters", res8.Stats.Workers)
+	}
+}
+
+// Every campaign result must land in the federation, attributed to its
+// cluster, and be selectable through the Org/Cluster filter dimensions.
+func TestFederationAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet run")
+	}
+	res, err := Run(loadSmoke(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := res.Federation
+	perCluster := make(map[string]int)
+	for _, a := range res.Assignments {
+		perCluster[a.ClusterID]++
+	}
+	for id, n := range perCluster {
+		series := fed.Query(examon.Filter{Org: "fleet", Cluster: id, Metric: MetricJobs})
+		if len(series) != 1 {
+			t.Fatalf("cluster %s: %d job series, want 1", id, len(series))
+		}
+		if got := len(series[0].Points); got != n {
+			t.Errorf("cluster %s: %d points, want %d (one per routed campaign)", id, got, n)
+		}
+		if series[0].Tags.Cluster != id || series[0].Tags.Plugin != FederationPlugin {
+			t.Errorf("cluster %s: stored tags %+v", id, series[0].Tags)
+		}
+	}
+	// An unknown cluster selects nothing.
+	if got := fed.Query(examon.Filter{Org: "fleet", Cluster: "nowhere"}); len(got) != 0 {
+		t.Errorf("unknown cluster matched %d series", len(got))
+	}
+	// Totals agree with the per-campaign results.
+	var wantCompleted int
+	for _, cres := range res.Campaigns {
+		wantCompleted += cres.Completed
+	}
+	var gotCompleted float64
+	for _, c := range res.Spec.Clusters {
+		gotCompleted += fed.ClusterTotal(c.ID, MetricCompleted)
+	}
+	if int(gotCompleted) != wantCompleted {
+		t.Errorf("federated completed total = %.0f, want %d", gotCompleted, wantCompleted)
+	}
+}
+
+// Federated queries by org/cluster tag must be safe while fleet workers
+// ingest — run under -race this exercises the sharded store's
+// concurrent-read path against live ingest from N workers.
+func TestFederatedQueryDuringIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet run")
+	}
+	f, err := New(loadSmoke(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, cl := range f.spec.Clusters {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, m := range federatedMetrics() {
+					f.Federation().Query(examon.Filter{Org: "fleet", Cluster: id, Metric: m})
+				}
+				f.Federation().SeriesCount()
+			}
+		}(cl.ID)
+	}
+	res, err := f.Run(3)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CampaignsRun != len(res.Assignments) {
+		t.Errorf("campaigns run = %d, want %d", res.Stats.CampaignsRun, len(res.Assignments))
+	}
+}

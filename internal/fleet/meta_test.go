@@ -1,0 +1,219 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"montecimone/internal/campaign"
+	"montecimone/internal/sim"
+)
+
+func TestThermalFit(t *testing.T) {
+	cases := []struct {
+		ambient float64
+		want    float64 // approximate
+	}{
+		{25, 1.0},   // the paper's reference room
+		{18, 1.0},   // colder rooms clamp at full fit
+		{66, 0.5},   // halfway to the trip
+		{106, 0.01}, // just under the trip
+	}
+	for _, tc := range cases {
+		cs := newClusterState(ClusterSpec{ID: "x", Nodes: 8, AmbientC: tc.ambient})
+		got := cs.thermalFit()
+		if diff := got - tc.want; diff > 0.02 || diff < -0.02 {
+			t.Errorf("thermalFit(%v °C) = %v, want ~%v", tc.ambient, got, tc.want)
+		}
+	}
+}
+
+func TestPowerFit(t *testing.T) {
+	uncapped := newClusterState(ClusterSpec{ID: "u", Nodes: 8})
+	if got := uncapped.powerFit(100); got != 1 {
+		t.Errorf("uncapped powerFit = %v, want 1", got)
+	}
+	capped := newClusterState(ClusterSpec{ID: "c", Nodes: 8, PowerBudgetW: 50})
+	if capped.usableW <= 0 {
+		t.Fatalf("usableW = %v, want positive (budget 50 W over the 8-node idle floor)", capped.usableW)
+	}
+	full := capped.powerFit(0)
+	half := capped.powerFit(capped.usableW / 2)
+	over := capped.powerFit(2 * capped.usableW)
+	if full != 1 || half <= over || over != 0 {
+		t.Errorf("powerFit monotonicity broken: full=%v half=%v over=%v", full, half, over)
+	}
+	// Resident campaigns consume fit exactly like the candidate's own draw.
+	capped.resident = append(capped.resident, residency{endS: 100, drawW: capped.usableW / 2})
+	if got := capped.powerFit(0); got != half {
+		t.Errorf("committed draw fit = %v, want %v", got, half)
+	}
+}
+
+func TestScoreQueuePenalty(t *testing.T) {
+	cs := newClusterState(ClusterSpec{ID: "q", Nodes: 8})
+	empty := cs.score(0)
+	cs.resident = append(cs.resident, residency{endS: 100, drawW: 0})
+	if got := cs.score(0); got != empty-queuePenaltyScore {
+		t.Errorf("one resident campaign: score %v, want %v", got, empty-queuePenaltyScore)
+	}
+	cs.expire(200)
+	if got := cs.score(0); got != empty {
+		t.Errorf("after expiry: score %v, want %v", got, empty)
+	}
+}
+
+func TestBusyEstimate(t *testing.T) {
+	d := campaign.Demand{NodeSeconds: 800, LongestS: 50}
+	if got := busyEstimate(d, 8, 0); got != 100 {
+		t.Errorf("spread-bound busy = %v, want 100", got)
+	}
+	if got := busyEstimate(d, 100, 0); got != 50 {
+		t.Errorf("longest-bound busy = %v, want 50", got)
+	}
+	if got := busyEstimate(d, 8, 60); got != 60 {
+		t.Errorf("horizon-capped busy = %v, want 60", got)
+	}
+}
+
+// Routing must be a pure function of (spec, seed): draws on foreign
+// streams of the same RNG factory must not perturb any decision, seed or
+// arrival — the fleet-level mirror of TestCompileStreamIsolation.
+func TestRoutingStreamIsolation(t *testing.T) {
+	s := loadSmoke(t)
+	clean, err := route(s, sim.NewRNG(s.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := sim.NewRNG(s.Seed)
+	for i := 0; i < 100; i++ {
+		dirty.Stream("campaign.arrival").Float64()
+		dirty.Stream("fleet.unrelated").NormFloat64()
+	}
+	got, err := route(s, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clean, got) {
+		t.Fatal("foreign stream draws perturbed the routing")
+	}
+}
+
+// Per-cluster seed streams are namespaced by cluster ID: campaigns
+// routed to cluster X draw the same seeds whether or not an unrelated
+// cluster exists elsewhere in the fleet. An added cluster that wins no
+// campaigns (here: strictly smaller, hotter, and listed last so every
+// score it could tie is broken against it) must leave every other
+// cluster's seed sequence untouched.
+func TestClusterSeedStreamIsolation(t *testing.T) {
+	s := loadSmoke(t)
+	base, err := route(s, sim.NewRNG(s.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := loadSmoke(t)
+	grown.Clusters = append(grown.Clusters, ClusterSpec{ID: "attic", Nodes: 1, AmbientC: 80})
+	routed, err := route(grown, sim.NewRNG(grown.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routed) != len(base) {
+		t.Fatalf("assignment count changed: %d vs %d", len(routed), len(base))
+	}
+	for i := range base {
+		if routed[i].ClusterID == "attic" {
+			t.Fatalf("assignment %d routed to the strictly-worse cluster", i)
+		}
+		if routed[i].ClusterID != base[i].ClusterID {
+			t.Errorf("assignment %d moved: %s vs %s", i, routed[i].ClusterID, base[i].ClusterID)
+		}
+		if routed[i].Campaign.Seed != base[i].Campaign.Seed {
+			t.Errorf("assignment %d seed perturbed: %d vs %d", i, routed[i].Campaign.Seed, base[i].Campaign.Seed)
+		}
+	}
+}
+
+// The feasibility filter: a campaign with an 8-node job can only land on
+// an 8-node cluster, never the 4-node one.
+func TestRoutingFeasibility(t *testing.T) {
+	s := loadSmoke(t)
+	assignments, err := route(s, sim.NewRNG(s.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range assignments {
+		if a.Campaign.Name == "cfd/wide" {
+			found = true
+			if a.ClusterID == "cimone" {
+				t.Errorf("8-node-wide campaign routed to the 4-node cluster")
+			}
+			if a.Demand.MaxWidth != 8 {
+				t.Errorf("demand MaxWidth = %d, want 8", a.Demand.MaxWidth)
+			}
+		}
+		if a.Campaign.Nodes != s.Clusters[a.ClusterIx].Nodes {
+			t.Errorf("campaign %s: nodes %d, cluster has %d", a.Campaign.Name, a.Campaign.Nodes, s.Clusters[a.ClusterIx].Nodes)
+		}
+		if a.Campaign.ClusterTag != a.ClusterID {
+			t.Errorf("campaign %s: cluster tag %q, want %q", a.Campaign.Name, a.Campaign.ClusterTag, a.ClusterID)
+		}
+		if a.Campaign.Org != "fleet" {
+			t.Errorf("campaign %s: org %q, want fleet", a.Campaign.Name, a.Campaign.Org)
+		}
+		if a.Campaign.Seed == 0 {
+			t.Errorf("campaign %s: no seed assigned", a.Campaign.Name)
+		}
+	}
+	if !found {
+		t.Fatal("cfd/wide not routed")
+	}
+}
+
+// The queue penalty spreads simultaneous load: two identical arrivals on
+// a fleet of two identical clusters must land on different clusters (the
+// second arrival sees the first one resident and pays 25 points).
+func TestRoutingQueuePenaltySpreadsLoad(t *testing.T) {
+	sub := func(at float64, name string) Submission {
+		return Submission{ArriveS: at, Spec: campaign.Spec{
+			Name: name, HorizonS: 600,
+			Jobs: []campaign.JobEntry{{Name: "j", Workload: "qe", Nodes: 2, SubmitS: 0, DurationS: 100}},
+		}}
+	}
+	s := Spec{
+		Name: "spread", Seed: 3,
+		Clusters: []ClusterSpec{{ID: "a", Nodes: 8}, {ID: "b", Nodes: 8}},
+		Tenants:  []TenantSpec{{Name: "t", Campaigns: []Submission{sub(0, "one"), sub(1, "two")}}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	assignments, err := route(s, sim.NewRNG(s.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assignments[0].ClusterID != "a" {
+		t.Errorf("first arrival: cluster %s, want a (tie to lowest index)", assignments[0].ClusterID)
+	}
+	if assignments[1].ClusterID != "b" {
+		t.Errorf("second arrival: cluster %s, want b (queue penalty on a)", assignments[1].ClusterID)
+	}
+}
+
+// Tenant arrival streams are namespaced by tenant name: reordering the
+// tenant list never changes any tenant's arrival instants.
+func TestTenantStreamIsolation(t *testing.T) {
+	s := loadSmoke(t)
+	arrivals := func(spec Spec) map[string]float64 {
+		out := make(map[string]float64)
+		for _, sub := range expand(spec, sim.NewRNG(spec.Seed)) {
+			out[sub.spec.Name] = sub.arriveS
+		}
+		return out
+	}
+	base := arrivals(s)
+	flipped := loadSmoke(t)
+	flipped.Tenants[0], flipped.Tenants[1] = flipped.Tenants[1], flipped.Tenants[0]
+	if !reflect.DeepEqual(base, arrivals(flipped)) {
+		t.Fatal("tenant order perturbed arrival streams")
+	}
+}

@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+
+	"montecimone/internal/campaign"
+	"montecimone/internal/report"
+)
+
+// Result is a fleet run's outcome: the routing decisions, every
+// campaign's result (indexed like Assignments) and the federated
+// telemetry. Everything WriteReport and WriteEventLogs render is a pure
+// function of (spec, seed) — the worker pool width changes wall-clock
+// only, so the fleet determinism suite compares output byte for byte
+// across worker counts. Worker-shape numbers live in Stats, which the
+// CLI prints to stderr for exactly that reason.
+type Result struct {
+	Spec        Spec
+	Assignments []Assignment
+	Campaigns   []*campaign.Result
+	Federation  *Federation
+	Stats       WorkerStats
+}
+
+// WriteReport renders the fleet report: the routing table, the
+// per-cluster and per-tenant breakdowns, and the federated totals. Every
+// block iterates in spec or routed order and aggregates federated
+// queries — never prints storage-order query output — so the rendering
+// is byte-identical at any worker count.
+func (r *Result) WriteReport(w io.Writer) error {
+	s := r.Spec
+	org := s.Org
+	if org == "" {
+		org = DefaultOrg
+	}
+	fmt.Fprintf(w, "fleet %q: org %s, seed %d, %d clusters, %d tenants, %d campaigns routed\n",
+		s.Name, org, s.Seed, len(s.Clusters), len(s.Tenants), len(r.Assignments))
+
+	fmt.Fprintln(w, "routing:")
+	rt := &report.Table{Headers: []string{"Seq", "Campaign", "Arrive", "Cluster", "Score", "Jobs", "PredW"}}
+	for _, a := range r.Assignments {
+		rt.AddRow(fmt.Sprintf("%d", a.Seq), a.Campaign.Name,
+			fmt.Sprintf("%.1f", a.ArriveS), a.ClusterID,
+			fmt.Sprintf("%.1f", a.Score), fmt.Sprintf("%d", a.Demand.Jobs),
+			fmt.Sprintf("%.1f", a.DrawW))
+	}
+	if err := rt.Write(w); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "clusters:")
+	ct := &report.Table{Headers: []string{"Cluster", "Nodes", "BudgetW", "Ambient", "Campaigns", "Jobs", "Completed", "Failed", "MeanUtil%", "PeakQ"}}
+	for ci, c := range s.Clusters {
+		var campaigns, jobs, completed, failed, peakQ int
+		var utilSum float64
+		for i, a := range r.Assignments {
+			if a.ClusterIx != ci || r.Campaigns[i] == nil {
+				continue
+			}
+			res := r.Campaigns[i]
+			campaigns++
+			jobs += len(res.Jobs)
+			completed += res.Completed
+			failed += res.Failed
+			utilSum += res.UtilizationPct
+			if res.PeakQueueDepth > peakQ {
+				peakQ = res.PeakQueueDepth
+			}
+		}
+		meanUtil := 0.0
+		if campaigns > 0 {
+			meanUtil = utilSum / float64(campaigns)
+		}
+		ambient := c.AmbientC
+		if ambient == 0 {
+			ambient = referenceAmbientC
+		}
+		ct.AddRow(c.ID, fmt.Sprintf("%d", c.Nodes), fmt.Sprintf("%.0f", c.PowerBudgetW),
+			fmt.Sprintf("%.0f", ambient), fmt.Sprintf("%d", campaigns),
+			fmt.Sprintf("%d", jobs), fmt.Sprintf("%d", completed),
+			fmt.Sprintf("%d", failed), fmt.Sprintf("%.1f", meanUtil),
+			fmt.Sprintf("%d", peakQ))
+	}
+	if err := ct.Write(w); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "tenants:")
+	tt := &report.Table{Headers: []string{"Tenant", "Campaigns", "Jobs", "Completed", "MeanWait"}}
+	for _, t := range s.Tenants {
+		var campaigns, jobs, completed int
+		var waitSum float64
+		for i, a := range r.Assignments {
+			if a.Tenant != t.Name || r.Campaigns[i] == nil {
+				continue
+			}
+			res := r.Campaigns[i]
+			campaigns++
+			jobs += len(res.Jobs)
+			completed += res.Completed
+			waitSum += res.MeanWaitS
+		}
+		meanWait := 0.0
+		if campaigns > 0 {
+			meanWait = waitSum / float64(campaigns)
+		}
+		tt.AddRow(t.Name, fmt.Sprintf("%d", campaigns), fmt.Sprintf("%d", jobs),
+			fmt.Sprintf("%d", completed), fmt.Sprintf("%.1f", meanWait))
+	}
+	if err := tt.Write(w); err != nil {
+		return err
+	}
+
+	if r.Federation != nil {
+		// The federated cross-check: totals re-read through the shared
+		// store's Org/Cluster-filtered query path, aggregated per cluster
+		// in spec order (point sums are order-independent, so concurrent
+		// ingest cannot perturb them).
+		fmt.Fprintf(w, "federation: %d series", r.Federation.SeriesCount())
+		for _, c := range s.Clusters {
+			fmt.Fprintf(w, ", %s completed=%.0f", c.ID, r.Federation.ClusterTotal(c.ID, MetricCompleted))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteEventLogs renders every cluster's event log: clusters in spec
+// order, each cluster's campaigns in routed order, each campaign's
+// events verbatim under a header. Byte-identical at any worker count.
+func (r *Result) WriteEventLogs(w io.Writer) error {
+	for ci, c := range r.Spec.Clusters {
+		fmt.Fprintf(w, "=== cluster %s ===\n", c.ID)
+		for i, a := range r.Assignments {
+			if a.ClusterIx != ci || r.Campaigns[i] == nil {
+				continue
+			}
+			fmt.Fprintf(w, "--- campaign %s (seq %d, arrive %.1f) ---\n", a.Campaign.Name, a.Seq, a.ArriveS)
+			if err := r.Campaigns[i].WriteEventLog(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -412,8 +412,31 @@ func (g *Governor) Snapshot() Snapshot {
 // nodes already draw. Jobs without a model carry the idle zero profile
 // and predict no incremental draw.
 func (g *Governor) PredictedJobWatts(act power.Activity, nodes int) float64 {
-	perNode := (g.pm.TotalMilliwatts(power.PhaseRun, act) -
-		g.pm.TotalMilliwatts(power.PhaseRun, power.ActivityIdle)) / 1000
+	return predictedWatts(g.pm, act, nodes)
+}
+
+// PredictedWatts is the governor's draw predictor as a standalone
+// function: the incremental watts of running the given activity profile
+// on the given node count over the idle floor, from the calibrated rail
+// model. The fleet meta-scheduler scores clusters with it before any
+// cluster (and hence any live governor) exists, so the meta level and the
+// admission gate price work with identical math.
+func PredictedWatts(act power.Activity, nodes int) float64 {
+	return predictedWatts(power.NewModel(), act, nodes)
+}
+
+// IdleFloorWatts is the rail model's per-node idle draw in watts — the
+// baseline a powered cluster pays before any placement. The meta level
+// subtracts it from a cluster's power budget to get the budget actually
+// available to workloads.
+func IdleFloorWatts(nodes int) float64 {
+	pm := power.NewModel()
+	return float64(nodes) * pm.TotalMilliwatts(power.PhaseRun, power.ActivityIdle) / 1000
+}
+
+func predictedWatts(pm *power.Model, act power.Activity, nodes int) float64 {
+	perNode := (pm.TotalMilliwatts(power.PhaseRun, act) -
+		pm.TotalMilliwatts(power.PhaseRun, power.ActivityIdle)) / 1000
 	if perNode < 0 {
 		perNode = 0
 	}

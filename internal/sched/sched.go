@@ -634,6 +634,26 @@ func (s *Scheduler) Squeue() []JobRow {
 	return append(rows, running...)
 }
 
+// QueueDepth is the scheduler's load probe: how many jobs sit in the
+// pending queue and how many hold nodes right now. It is the queue half
+// of the headroom picture the fleet meta-scheduler scores clusters by
+// (the power half is powerplane.Governor.HeadroomWatts); campaign runners
+// sample it at submission instants so per-cluster backlogs surface in
+// fleet reports without touching scheduler internals.
+func (s *Scheduler) QueueDepth() (pending, running int) {
+	for _, j := range s.queue {
+		if j.state == StatePending {
+			pending++
+		}
+	}
+	for _, j := range s.jobs {
+		if j.state == StateRunning {
+			running++
+		}
+	}
+	return pending, running
+}
+
 // Sacct lists all jobs ever submitted, by id.
 func (s *Scheduler) Sacct() []JobRow {
 	rows := make([]JobRow, 0, len(s.jobs))

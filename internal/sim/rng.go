@@ -40,6 +40,20 @@ func (r *RNG) Normal(stream string, mean, stddev float64) float64 {
 	return mean + stddev*r.Stream(stream).NormFloat64()
 }
 
+// Derive returns a child stream factory whose master seed mixes the given
+// name into this factory's master seed. A derived factory's streams are
+// fully determined by (parent seed, name): independent of how many other
+// factories are derived, of the order they are derived in, and of any
+// draws taken from the parent or from sibling factories. This is the
+// namespacing primitive behind shard workers (ForShard) and the fleet
+// runner's per-cluster factories ("fleet.cluster.<id>") — adding or
+// removing one consumer never perturbs another consumer's timeline.
+func (r *RNG) Derive(name string) *RNG {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return NewRNG(r.master ^ int64(h.Sum64()))
+}
+
 // ForShard derives the stream factory for one shard of a sharded run. The
 // child's master seed mixes the shard index into this factory's master
 // seed by name ("sim.shard.<i>"), so shard streams are fully determined by
@@ -50,7 +64,5 @@ func (r *RNG) Normal(stream string, mean, stddev float64) float64 {
 // consumers keep drawing from the parent and see identical values at any
 // shard count.
 func (r *RNG) ForShard(shard int) *RNG {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte("sim.shard." + strconv.Itoa(shard)))
-	return NewRNG(r.master ^ int64(h.Sum64()))
+	return r.Derive("sim.shard." + strconv.Itoa(shard))
 }
