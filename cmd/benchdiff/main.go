@@ -12,8 +12,12 @@
 // With -fail-over P the command exits non-zero if any time/alloc metric
 // (ns/op, B/op, allocs/op — where bigger is worse) regressed by more than
 // P percent, turning the diff into a CI gate; -gate narrows the gating to
-// a comma-separated unit subset (CI gates allocs/op only — allocation
-// counts are deterministic, shared-runner wall times are not).
+// a comma-separated unit list. Each entry is "unit" or "unit:percent":
+// the suffix overrides -fail-over per unit, and listing a custom
+// throughput unit (jobs/s) gates on DROPS beyond its threshold. CI uses
+// "-gate allocs/op,jobs/s:10" — allocation counts are deterministic,
+// campaign throughput must not fall more than 10%, and 1x wall times on
+// shared runners are too noisy to gate.
 //
 // A missing old (baseline) file is not an error: the first run of a CI
 // job has no cached baseline yet, so benchdiff prints a clear one-line
@@ -38,7 +42,7 @@ func main() {
 	failOver := flag.Float64("fail-over", 0,
 		"exit non-zero if a gated metric regressed by more than this percent (0 disables)")
 	gate := flag.String("gate", "",
-		"comma-separated units eligible to gate (default: ns/op, B/op and allocs/op)")
+		"comma-separated unit[:percent] entries eligible to gate (default: ns/op, B/op and allocs/op at -fail-over)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-fail-over P] [-gate units] old.txt new.txt")

@@ -134,7 +134,20 @@ func runCampaign(w io.Writer, seed int64, shards int) error {
 	if err != nil {
 		return err
 	}
+	printWindowStats(res)
 	return res.WriteReport(w)
+}
+
+// printWindowStats reports the sharded engine's exposed parallelism on
+// stderr (stdout stays byte-diffable across shard counts). Serial runs
+// form no windows and print nothing.
+func printWindowStats(res *campaign.Result) {
+	if res.EngineWindows == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "mcrun: engine windows: %d, windowed events: %d, prepared keys: %d, committed-parallel: %d (%.1f%%)\n",
+		res.EngineWindows, res.WindowedEvents, res.PreparedKeys, res.CommittedEvents,
+		100*res.CommittedParallelFraction())
 }
 
 // runChaos executes the standard chaos campaign — the demo job mix with
@@ -149,6 +162,7 @@ func runChaos(w io.Writer, seed int64, shards int) error {
 	if err != nil {
 		return err
 	}
+	printWindowStats(res)
 	return res.WriteReport(w)
 }
 

@@ -137,6 +137,15 @@ func runSpecFile(w io.Writer, path string, set map[string]bool, nodes int, mitig
 	if err != nil {
 		return err
 	}
+	// Window statistics go to stderr too: the committed-parallel fraction is
+	// the share of the event stream that executed on shard workers — the
+	// parallelism the engine exposed, visible even where wall-clock scaling
+	// is not (single-core hosts).
+	if res.EngineWindows > 0 {
+		fmt.Fprintf(os.Stderr, "mcsched: engine windows: %d, windowed events: %d, prepared keys: %d, committed-parallel: %d (%.1f%%)\n",
+			res.EngineWindows, res.WindowedEvents, res.PreparedKeys, res.CommittedEvents,
+			100*res.CommittedParallelFraction())
+	}
 	if err := res.WriteReport(w); err != nil {
 		return err
 	}

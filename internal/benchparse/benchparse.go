@@ -113,8 +113,9 @@ func unitRank(unit string) int {
 }
 
 // biggerIsWorse reports whether a regression in this unit means the value
-// went UP. Custom throughput metrics (jobs/s, samples/s) are
-// bigger-is-better and never gate; the allocator and time columns gate.
+// went UP (time and allocator columns). Custom throughput metrics
+// (jobs/s, samples/s) are bigger-is-better: for them a regression is a
+// DROP, and they only gate when named explicitly in gateUnits.
 func biggerIsWorse(unit string) bool {
 	switch unit {
 	case "ns/op", "B/op", "allocs/op":
@@ -123,27 +124,49 @@ func biggerIsWorse(unit string) bool {
 	return false
 }
 
-// Diff compares averaged old and new runs. It returns one ordered row set
-// per benchmark present in BOTH inputs and, if failOver > 0, the list of
-// "name unit: +P%" strings for time/alloc metrics that regressed beyond
-// failOver percent. gateUnits narrows which units may gate (nil gates all
-// bigger-is-worse units); CI gates allocs/op only, because allocation
-// counts are deterministic while 1x wall times on shared runners are not.
-func Diff(oldRuns, newRuns []Run, failOver float64, gateUnits ...string) (map[string][]Row, []string) {
-	oldAvg, newAvg := mean(oldRuns), mean(newRuns)
-	gated := func(unit string) bool {
-		if !biggerIsWorse(unit) {
-			return false
-		}
-		if len(gateUnits) == 0 {
-			return true
-		}
-		for _, g := range gateUnits {
-			if g == unit {
-				return true
+// parseGates expands gate entries of the form "unit" or "unit:percent"
+// into a unit -> threshold map. A bare unit uses failOver; a ":percent"
+// suffix overrides it per unit, so CI can hold throughput to a tighter
+// bound than wall time (e.g. "allocs/op,jobs/s:10").
+func parseGates(gateUnits []string, failOver float64) map[string]float64 {
+	if len(gateUnits) == 0 {
+		return nil
+	}
+	gates := map[string]float64{}
+	for _, g := range gateUnits {
+		unit, thresh := g, failOver
+		if i := strings.IndexByte(g, ':'); i >= 0 {
+			unit = g[:i]
+			if v, err := strconv.ParseFloat(g[i+1:], 64); err == nil && v > 0 {
+				thresh = v
 			}
 		}
-		return false
+		gates[unit] = thresh
+	}
+	return gates
+}
+
+// Diff compares averaged old and new runs. It returns one ordered row set
+// per benchmark present in BOTH inputs and, if failOver > 0, the list of
+// "name unit: +P%" strings for metrics that regressed beyond their
+// threshold. Each gateUnits entry is "unit" or "unit:percent" (per-unit
+// threshold overriding failOver); nil gates every bigger-is-worse unit at
+// failOver. Direction follows the unit: time/alloc units regress upward,
+// throughput units (jobs/s) regress when they drop. CI gates allocs/op
+// (deterministic) and jobs/s at a tight bound, not 1x wall times, which
+// are noisy on shared runners.
+func Diff(oldRuns, newRuns []Run, failOver float64, gateUnits ...string) (map[string][]Row, []string) {
+	oldAvg, newAvg := mean(oldRuns), mean(newRuns)
+	gates := parseGates(gateUnits, failOver)
+	threshold := func(unit string) (float64, bool) {
+		if gates == nil {
+			if !biggerIsWorse(unit) {
+				return 0, false
+			}
+			return failOver, true
+		}
+		t, ok := gates[unit]
+		return t, ok
 	}
 	table := map[string][]Row{}
 	var regressed []string
@@ -169,8 +192,14 @@ func Diff(oldRuns, newRuns []Run, failOver float64, gateUnits ...string) (map[st
 				delta = "new"
 			}
 			rows = append(rows, Row{Unit: unit, Old: ov, New: nv, Delta: delta})
-			if failOver > 0 && gated(unit) && pct > failOver {
-				regressed = append(regressed, fmt.Sprintf("%s %s: %+.1f%%", name, unit, pct))
+			if thresh, ok := threshold(unit); ok && failOver > 0 {
+				worse := pct > thresh
+				if !biggerIsWorse(unit) {
+					worse = pct < -thresh
+				}
+				if worse {
+					regressed = append(regressed, fmt.Sprintf("%s %s: %+.1f%%", name, unit, pct))
+				}
 			}
 		}
 		sort.Slice(rows, func(i, j int) bool {

@@ -68,7 +68,7 @@ func TestDiffGatesOnTimeAndAllocRegressions(t *testing.T) {
 	newer := `BenchmarkX 	 10	1500 ns/op	 101 B/op	 10 allocs/op	 10.0 jobs/s`
 	_, regressed := Diff(Parse(older), Parse(newer), 10)
 	// ns/op +50% gates; B/op +1% is under the bar; jobs/s collapsing does
-	// not gate (bigger-is-better units are informational).
+	// not gate by default (bigger-is-better units gate only when named).
 	if len(regressed) != 1 || !strings.Contains(regressed[0], "ns/op") {
 		t.Fatalf("regressed = %v, want exactly the ns/op entry", regressed)
 	}
@@ -76,14 +76,42 @@ func TestDiffGatesOnTimeAndAllocRegressions(t *testing.T) {
 	if len(none) != 0 {
 		t.Fatalf("threshold above the regression still gated: %v", none)
 	}
-	// Narrowed gating (the CI configuration): allocs/op only, so the ns/op
-	// regression passes and a bigger-is-better unit can never gate.
+	// Narrowed gating: allocs/op only, so the ns/op regression passes and
+	// the jobs/s drop stays informational.
 	_, narrowed := Diff(Parse(older), Parse(newer), 10, "allocs/op")
 	if len(narrowed) != 0 {
 		t.Fatalf("-gate allocs/op still flagged: %v", narrowed)
 	}
+	// Naming a bigger-is-better unit gates its DROP: jobs/s fell 80%.
 	_, jobsGate := Diff(Parse(older), Parse(newer), 10, "jobs/s")
-	if len(jobsGate) != 0 {
-		t.Fatalf("bigger-is-better unit gated: %v", jobsGate)
+	if len(jobsGate) != 1 || !strings.Contains(jobsGate[0], "jobs/s") {
+		t.Fatalf("-gate jobs/s = %v, want exactly the jobs/s drop", jobsGate)
+	}
+}
+
+func TestDiffGatesThroughputWithPerUnitThreshold(t *testing.T) {
+	older := `BenchmarkX 	 10	1000 ns/op	 10 allocs/op	 100.0 jobs/s`
+	dip := `BenchmarkX 	 10	1000 ns/op	 10 allocs/op	 95.0 jobs/s`
+	drop := `BenchmarkX 	 10	1000 ns/op	 10 allocs/op	 80.0 jobs/s`
+	gain := `BenchmarkX 	 10	1500 ns/op	 10 allocs/op	 150.0 jobs/s`
+	// The CI configuration: allocs/op at -fail-over, jobs/s at a per-unit
+	// 10% bound. A 5% dip passes, a 20% drop fails.
+	_, ok := Diff(Parse(older), Parse(dip), 25, "allocs/op", "jobs/s:10")
+	if len(ok) != 0 {
+		t.Fatalf("5%% throughput dip gated at jobs/s:10: %v", ok)
+	}
+	_, bad := Diff(Parse(older), Parse(drop), 25, "allocs/op", "jobs/s:10")
+	if len(bad) != 1 || !strings.Contains(bad[0], "jobs/s") {
+		t.Fatalf("20%% throughput drop = %v, want exactly the jobs/s entry", bad)
+	}
+	// Throughput going UP never gates, and ns/op is outside the gate list.
+	_, up := Diff(Parse(older), Parse(gain), 25, "allocs/op", "jobs/s:10")
+	if len(up) != 0 {
+		t.Fatalf("throughput improvement gated: %v", up)
+	}
+	// A per-unit threshold also tightens bigger-is-worse units.
+	_, tight := Diff(Parse(older), Parse(gain), 75, "ns/op:10")
+	if len(tight) != 1 || !strings.Contains(tight[0], "ns/op") {
+		t.Fatalf("ns/op:10 = %v, want exactly the ns/op entry", tight)
 	}
 }

@@ -258,6 +258,7 @@ func (r *Runner) Result() *Result {
 		st := r.ctrl.Stats(r.sys.Engine.Now())
 		res.Fault = &st
 	}
+	res.EngineWindows, res.WindowedEvents, res.PreparedKeys, res.CommittedEvents = r.sys.Engine.WindowStats()
 	res.aggregate()
 	return res
 }

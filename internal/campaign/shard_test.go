@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"montecimone/internal/examon"
@@ -122,6 +123,33 @@ func TestShardedCampaignRandomizedSpecs(t *testing.T) {
 	}
 }
 
+// TestScale10kShardInvariant is the 10k-node scale gate: the committed
+// testdata/scale10k.json partition (10000 nodes, 4000 Poisson jobs) must
+// run to completion and render byte-identical reports and event logs at
+// shards=1 and shards=GOMAXPROCS. Skipped under -short — the two runs
+// take tens of seconds each; CI's determinism job also diffs this spec
+// across shard counts through the mcsched binary.
+func TestScale10kShardInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node campaign is slow")
+	}
+	spec, err := Load("testdata/scale10k.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Nodes != 10000 {
+		t.Fatalf("scale10k spec has %d nodes, want 10000", spec.Nodes)
+	}
+	rep1, log1 := renderAt(t, spec, 1)
+	repN, logN := renderAt(t, spec, runtime.GOMAXPROCS(0))
+	if repN != rep1 {
+		t.Error("10k report diverges between shards=1 and shards=GOMAXPROCS")
+	}
+	if logN != log1 {
+		t.Error("10k event log diverges between shards=1 and shards=GOMAXPROCS")
+	}
+}
+
 // TestShardedEngineConcurrentIngestQuery drives a monitor-on sharded
 // campaign while a reader goroutine hammers the TSDB — the race detector
 // (CI runs the package under -race) checks the shard workers' node
@@ -177,7 +205,7 @@ func TestShardedEngineConcurrentIngestQuery(t *testing.T) {
 // verifies the engine exposes parallel work even though byte-identity
 // hides it from the reports.
 func TestShardedWindowStats(t *testing.T) {
-	run := func(shards int) (windows, events, prepared uint64) {
+	run := func(shards int) (windows, events, prepared, committed uint64) {
 		spec := mixedSpec("easy", 7)
 		spec.Shards = shards
 		r, err := NewRunner(spec)
@@ -190,16 +218,19 @@ func TestShardedWindowStats(t *testing.T) {
 		}
 		return r.System().Engine.WindowStats()
 	}
-	if w, ev, pr := run(0); w != 0 || ev != 0 || pr != 0 {
-		t.Errorf("serial engine reported window stats %d/%d/%d, want 0/0/0", w, ev, pr)
+	if w, ev, pr, cm := run(0); w != 0 || ev != 0 || pr != 0 || cm != 0 {
+		t.Errorf("serial engine reported window stats %d/%d/%d/%d, want 0/0/0/0", w, ev, pr, cm)
 	}
-	w, ev, pr := run(4)
+	w, ev, pr, cm := run(4)
 	if w == 0 || ev == 0 || pr == 0 {
 		t.Fatalf("sharded engine reported window stats %d/%d/%d, want all > 0", w, ev, pr)
 	}
 	if ev < w {
 		t.Errorf("windowed events %d < windows %d", ev, w)
 	}
-	t.Logf("windows=%d windowed-events=%d prepared-keys=%d (%.2f events/window, %.2f preps/window)",
-		w, ev, pr, float64(ev)/float64(w), float64(pr)/float64(w))
+	if cm > ev {
+		t.Errorf("committed-parallel events %d > windowed events %d", cm, ev)
+	}
+	t.Logf("windows=%d windowed-events=%d prepared-keys=%d committed-parallel=%d (%.2f events/window, %.1f%% committed-parallel)",
+		w, ev, pr, cm, float64(ev)/float64(w), 100*float64(cm)/float64(ev))
 }

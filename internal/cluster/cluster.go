@@ -200,7 +200,13 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 		if err := nd.SetBaseStep(period); err != nil {
 			return nil, fmt.Errorf("cluster: %w", err)
 		}
-		nd.SetClock(engine.Now)
+		// The node clock routes through the engine's key-aware time: during
+		// a window's parallel phase a demand-driven sync triggered on a shard
+		// worker (a local phase transition observing its node) must see the
+		// worker's event instant, not the serial loop's stale clock. Outside
+		// parallel phases KeyNow IS the engine clock.
+		key := nd.ID() - 1
+		nd.SetClock(func() float64 { return engine.KeyNow(key) })
 	}
 	if !c.lockStep {
 		c.watches = make([]sim.Handle, n)
@@ -249,20 +255,27 @@ func (c *Cluster) replanWatch(i int) {
 		return
 	}
 	nd := c.nodes[i]
-	c.watches[i].Cancel()
+	// Route through the key's scheduling port: a replan triggered by an
+	// input change on a shard worker (a local phase transition mutating its
+	// node) buffers the cancel+schedule into the worker's effect buffer for
+	// the merge-ordered commit; on the serial loop the port is the engine
+	// itself and this is the plain immediate path. Element i of c.watches is
+	// only ever touched by node i's events, so worker writes are disjoint.
+	port := c.engine.KeyPort(i)
+	port.Cancel(c.watches[i])
 	c.watches[i] = sim.Handle{}
 	at := nd.NextDeadline()
 	if math.IsInf(at, 1) {
 		return
 	}
-	if now := c.engine.Now(); at < now {
+	if now := port.Now(); at < now {
 		at = now
 	}
 	// Watchdogs are deliberately plain (barrier) events: they exist to
 	// integrate a node ACROSS a state transition, whose callbacks (halt ->
 	// scheduler node-down, boot -> boot notification) are cross-shard edges
 	// that must run on the serial loop with the window closed behind them.
-	ev, err := c.engine.ScheduleAt(at, c.watchNames[i], c.watchFns[i])
+	ev, err := port.ScheduleAt(at, c.watchNames[i], c.watchFns[i])
 	if err != nil {
 		// Unreachable: at is clamped to now and finite.
 		panic(fmt.Sprintf("cluster: watch %s: %v", c.watchNames[i], err))

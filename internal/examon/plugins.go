@@ -29,9 +29,10 @@ type PMUPub struct {
 	org     string
 	cluster string
 
-	ticker *sim.Ticker
-	batch  []Sample     // per-tick scratch, reused across samples
-	events []perf.Event // counters this node exposes, fixed at Start
+	ticker  *sim.Ticker
+	batch   []Sample     // per-tick scratch, reused across samples
+	events  []perf.Event // counters this node exposes, fixed at Start
+	publish func(*sim.Engine)
 }
 
 // NewPMUPub builds the plugin for one node.
@@ -59,11 +60,15 @@ func (p *PMUPub) Start(engine *sim.Engine) error {
 	if p.node.PMU().HPMEnabled() {
 		p.events = append(p.events, perf.ProgrammableEvents...)
 	}
-	// Affine tick: the sample only integrates this plugin's own node (the
-	// broker publish is serial like every callback), so a sharded engine
-	// may prefetch the node's physics. Node IDs are assigned 1..N in
-	// hostname order, so ID-1 is the cluster's shard key for the node.
-	tk, err := sim.NewAffineTicker(engine, engine.Now()+PMUPubPeriod, PMUPubPeriod,
+	// Local tick: the sample integrates only this plugin's own node and
+	// builds its batch in plugin-owned scratch, so a sharded engine runs
+	// the whole callback on the node's shard worker; the broker publish is
+	// deferred to the tick's commit position, keeping dispatch and storage
+	// ingest in exact serial order. Node IDs are assigned 1..N in hostname
+	// order, so ID-1 is the cluster's shard key for the node. The publish
+	// closure is built once — a deferred tick allocates nothing.
+	p.publish = func(*sim.Engine) { _ = p.broker.PublishBatch(p.batch) }
+	tk, err := sim.NewLocalTicker(engine, engine.Now()+PMUPubPeriod, PMUPubPeriod,
 		"examon.pmu_pub."+p.node.Hostname(), []int{p.node.ID() - 1}, p.sample)
 	if err != nil {
 		return fmt.Errorf("examon: %w", err)
@@ -80,7 +85,7 @@ func (p *PMUPub) Stop() {
 	}
 }
 
-func (p *PMUPub) sample(now float64) {
+func (p *PMUPub) sample(proc *sim.Proc, now float64) {
 	// Bring the node model exactly to the sampling instant so counter
 	// reads are independent of tick-interleaving with the cluster's
 	// integration. Under lock-step this is a sub-period catch-up; under
@@ -109,9 +114,12 @@ func (p *PMUPub) sample(now float64) {
 			})
 		}
 	}
-	// Publish errors cannot occur for well-formed tags; the plugin drops
-	// the batch otherwise, like a QoS0 publisher.
-	_ = p.broker.PublishBatch(p.batch)
+	// Publish at the tick's commit position (immediately on the serial
+	// loop). Errors cannot occur for well-formed tags; the plugin drops the
+	// batch otherwise, like a QoS0 publisher. The scratch batch is safe to
+	// hand over: ticks of one plugin are at least a period apart, so the
+	// deferred publish always runs before the next tick rebuilds it.
+	proc.Defer(p.publish)
 }
 
 // StatsPub is the per-node plugin collecting operating-system statistics
@@ -122,8 +130,9 @@ type StatsPub struct {
 	org     string
 	cluster string
 
-	ticker *sim.Ticker
-	batch  []Sample // per-tick scratch, reused across samples
+	ticker  *sim.Ticker
+	batch   []Sample // per-tick scratch, reused across samples
+	publish func(*sim.Engine)
 }
 
 // NewStatsPub builds the plugin for one node.
@@ -145,8 +154,9 @@ func (s *StatsPub) Start(engine *sim.Engine) error {
 	if s.ticker != nil {
 		return fmt.Errorf("examon: stats_pub already started on %s", s.node.Hostname())
 	}
-	// Affine tick keyed by this node; see PMUPub.Start.
-	tk, err := sim.NewAffineTicker(engine, engine.Now()+StatsPubPeriod, StatsPubPeriod,
+	// Local tick keyed by this node; see PMUPub.Start.
+	s.publish = func(*sim.Engine) { _ = s.broker.PublishBatch(s.batch) }
+	tk, err := sim.NewLocalTicker(engine, engine.Now()+StatsPubPeriod, StatsPubPeriod,
 		"examon.stats_pub."+s.node.Hostname(), []int{s.node.ID() - 1}, s.sample)
 	if err != nil {
 		return fmt.Errorf("examon: %w", err)
@@ -178,7 +188,7 @@ var StatsMetrics = []string{
 	"temperature.mb_temp", "temperature.cpu_temp", "temperature.nvme_temp",
 }
 
-func (s *StatsPub) sample(now float64) {
+func (s *StatsPub) sample(proc *sim.Proc, now float64) {
 	s.node.SyncTo(now) // sync to the sampling instant (see PMUPub.sample)
 	if s.node.State() != node.StateRunning {
 		return
@@ -211,7 +221,7 @@ func (s *StatsPub) sample(now float64) {
 			T: now, V: values[i],
 		})
 	}
-	_ = s.broker.PublishBatch(s.batch)
+	proc.Defer(s.publish) // commit-ordered publish; see PMUPub.sample
 }
 
 // PowerPub is the per-node plugin publishing the nine shunt-monitored rail
@@ -225,8 +235,9 @@ type PowerPub struct {
 	org     string
 	cluster string
 
-	ticker *sim.Ticker
-	batch  []Sample // per-tick scratch, reused across samples
+	ticker  *sim.Ticker
+	batch   []Sample // per-tick scratch, reused across samples
+	publish func(*sim.Engine)
 }
 
 // PowerTotalMetric is the power_pub metric carrying the nine-rail board
@@ -263,8 +274,9 @@ func (p *PowerPub) Start(engine *sim.Engine) error {
 	if p.ticker != nil {
 		return fmt.Errorf("examon: power_pub already started on %s", p.node.Hostname())
 	}
-	// Affine tick keyed by this node; see PMUPub.Start.
-	tk, err := sim.NewAffineTicker(engine, engine.Now()+PowerPubPeriod, PowerPubPeriod,
+	// Local tick keyed by this node; see PMUPub.Start.
+	p.publish = func(*sim.Engine) { _ = p.broker.PublishBatch(p.batch) }
+	tk, err := sim.NewLocalTicker(engine, engine.Now()+PowerPubPeriod, PowerPubPeriod,
 		"examon.power_pub."+p.node.Hostname(), []int{p.node.ID() - 1}, p.sample)
 	if err != nil {
 		return fmt.Errorf("examon: %w", err)
@@ -281,7 +293,7 @@ func (p *PowerPub) Stop() {
 	}
 }
 
-func (p *PowerPub) sample(now float64) {
+func (p *PowerPub) sample(proc *sim.Proc, now float64) {
 	p.node.SyncTo(now) // sync to the sampling instant (see PMUPub.sample)
 	p.batch = p.batch[:0]
 	hostname := p.node.Hostname()
@@ -300,5 +312,5 @@ func (p *PowerPub) sample(now float64) {
 			Plugin: "power_pub", Core: -1, Metric: PowerTotalMetric},
 		T: now, V: total,
 	})
-	_ = p.broker.PublishBatch(p.batch)
+	proc.Defer(p.publish) // commit-ordered publish; see PMUPub.sample
 }

@@ -11,7 +11,10 @@ import (
 type freeIndex interface {
 	// Count returns the number of idle nodes.
 	Count() int
-	// Hosts returns the idle hostnames in partition order.
+	// Hosts returns the idle hostnames in partition order. The slice is
+	// only valid until the next Hosts call: implementations may reuse one
+	// scratch buffer, so callers (the policies' PickHosts) must not retain
+	// it — the scheduler copies the chosen allocation before the next pass.
 	Hosts() []string
 	// Add records that the node at partition index idx became idle.
 	Add(idx int)
@@ -24,17 +27,21 @@ type freeIndex interface {
 // set, so a scheduling pass never rescans the whole partition.
 type indexedFree struct {
 	order []string
-	idx   []int // idle partition indexes, ascending
+	idx   []int    // idle partition indexes, ascending
+	hosts []string // Hosts scratch, reused across scheduling passes
 }
 
 func (f *indexedFree) Count() int { return len(f.idx) }
 
 func (f *indexedFree) Hosts() []string {
-	out := make([]string, len(f.idx))
-	for i, n := range f.idx {
-		out[i] = f.order[n]
+	// Reuse one scratch buffer: on a 10k-node partition a fresh O(free)
+	// slice per job placement dominated the whole campaign's allocation
+	// profile. The freeIndex contract forbids callers retaining the result.
+	f.hosts = f.hosts[:0]
+	for _, n := range f.idx {
+		f.hosts = append(f.hosts, f.order[n])
 	}
-	return out
+	return f.hosts
 }
 
 func (f *indexedFree) Add(n int) {

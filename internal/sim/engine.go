@@ -33,6 +33,7 @@ type Event struct {
 	at     float64
 	seq    uint64
 	fn     func(*Engine)
+	lfn    func(*Proc) // local callback (Schedule*Local); nil for plain/affine
 	name   string
 	period float64 // > 0 for recurring events (ScheduleEvery)
 
@@ -147,10 +148,25 @@ type Engine struct {
 	seen   map[int]bool
 	shard  [][]prep
 
+	// Per-shard committed execution state (see shard.go and local.go).
+	keySpan       int       // SetKeySpan: block key->shard mapping domain
+	procs         []*Proc   // one effect buffer per shard, live during runs
+	direct        *Proc     // serial-context Proc for local callbacks
+	inPar         bool      // a parallel phase is executing (workers live)
+	winMeta       []winMeta // aligned with win: execution mode + op ranges
+	lq            [][]int   // per-shard local run queues (indexes into win)
+	active        []int     // shards with work this window (scratch)
+	poison        map[int]bool
+	poisoned      []int
+	winEnd        float64 // current window's end instant
+	winTailUnsafe bool    // window terminated by an unsafe-keyed affine event
+	winParMax     float64 // max instant executed on a worker this window
+
 	// Sharded-run statistics (see WindowStats).
-	windows  uint64
-	windowed uint64
-	prepared uint64
+	windows   uint64
+	windowed  uint64
+	prepared  uint64
+	committed uint64
 
 	// freeList recycles fired and cancelled Events (see Event). Bounded by
 	// the peak number of simultaneously live events, not by event churn.
@@ -181,6 +197,7 @@ func (e *Engine) release(ev *Event) {
 	ev.free = true
 	ev.gen++
 	ev.fn = nil
+	ev.lfn = nil
 	ev.name = ""
 	ev.keys = nil
 	ev.period = 0
@@ -192,7 +209,9 @@ func (e *Engine) release(ev *Event) {
 
 // NewEngine returns an engine with the clock at t=0 and an empty queue.
 func NewEngine() *Engine {
-	return &Engine{span: math.Inf(1)}
+	e := &Engine{span: math.Inf(1)}
+	e.direct = &Proc{eng: e, direct: true}
+	return e
 }
 
 // Now returns the current virtual time in seconds.
@@ -220,7 +239,7 @@ func (e *Engine) Pending() int {
 // Scheduling in the past is an error; scheduling at the current instant is
 // allowed and runs after already-queued events for that instant.
 func (e *Engine) ScheduleAt(at float64, name string, fn func(*Engine)) (Handle, error) {
-	return e.schedule(at, 0, name, nil, false, fn)
+	return e.schedule(at, 0, name, nil, false, fn, nil)
 }
 
 // ScheduleAfter registers fn to run delay seconds after the current time.
@@ -228,7 +247,7 @@ func (e *Engine) ScheduleAfter(delay float64, name string, fn func(*Engine)) (Ha
 	if delay < 0 {
 		return Handle{}, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
 	}
-	return e.schedule(e.now+delay, 0, name, nil, false, fn)
+	return e.schedule(e.now+delay, 0, name, nil, false, fn, nil)
 }
 
 // ScheduleAtAffine registers a shard-affine event: the callback touches
@@ -238,7 +257,7 @@ func (e *Engine) ScheduleAfter(delay float64, name string, fn func(*Engine)) (Ha
 // be prepared concurrently. The engine keeps the keys slice; callers must
 // not mutate it afterwards. See shard.go for the full contract.
 func (e *Engine) ScheduleAtAffine(at float64, name string, keys []int, fn func(*Engine)) (Handle, error) {
-	return e.schedule(at, 0, name, keys, true, fn)
+	return e.schedule(at, 0, name, keys, true, fn, nil)
 }
 
 // ScheduleAfterAffine is ScheduleAtAffine relative to the current time.
@@ -246,7 +265,7 @@ func (e *Engine) ScheduleAfterAffine(delay float64, name string, keys []int, fn 
 	if delay < 0 {
 		return Handle{}, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
 	}
-	return e.schedule(e.now+delay, 0, name, keys, true, fn)
+	return e.schedule(e.now+delay, 0, name, keys, true, fn, nil)
 }
 
 // ScheduleAtPrepared registers a prepared barrier: a cross-shard event
@@ -256,7 +275,7 @@ func (e *Engine) ScheduleAfterAffine(delay float64, name string, keys []int, fn 
 // at start time. The engine keeps the keys slice; callers must not mutate
 // it afterwards.
 func (e *Engine) ScheduleAtPrepared(at float64, name string, keys []int, fn func(*Engine)) (Handle, error) {
-	return e.schedule(at, 0, name, keys, false, fn)
+	return e.schedule(at, 0, name, keys, false, fn, nil)
 }
 
 // ScheduleAfterPrepared is ScheduleAtPrepared relative to the current time.
@@ -264,7 +283,7 @@ func (e *Engine) ScheduleAfterPrepared(delay float64, name string, keys []int, f
 	if delay < 0 {
 		return Handle{}, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
 	}
-	return e.schedule(e.now+delay, 0, name, keys, false, fn)
+	return e.schedule(e.now+delay, 0, name, keys, false, fn, nil)
 }
 
 // ScheduleEvery registers fn to run at absolute virtual time start and then
@@ -278,7 +297,7 @@ func (e *Engine) ScheduleEvery(start, period float64, name string, fn func(*Engi
 	if err := checkPeriod(name, period); err != nil {
 		return Handle{}, err
 	}
-	return e.schedule(start, period, name, nil, false, fn)
+	return e.schedule(start, period, name, nil, false, fn, nil)
 }
 
 // ScheduleEveryAffine is ScheduleEvery for a shard-affine callback (see
@@ -287,7 +306,7 @@ func (e *Engine) ScheduleEveryAffine(start, period float64, name string, keys []
 	if err := checkPeriod(name, period); err != nil {
 		return Handle{}, err
 	}
-	return e.schedule(start, period, name, keys, true, fn)
+	return e.schedule(start, period, name, keys, true, fn, nil)
 }
 
 func checkPeriod(name string, period float64) error {
@@ -297,7 +316,7 @@ func checkPeriod(name string, period float64) error {
 	return nil
 }
 
-func (e *Engine) schedule(at, period float64, name string, keys []int, affine bool, fn func(*Engine)) (Handle, error) {
+func (e *Engine) schedule(at, period float64, name string, keys []int, affine bool, fn func(*Engine), lfn func(*Proc)) (Handle, error) {
 	if math.IsNaN(at) || math.IsInf(at, 0) {
 		return Handle{}, fmt.Errorf("sim: schedule %q: invalid time %v", name, at)
 	}
@@ -306,6 +325,7 @@ func (e *Engine) schedule(at, period float64, name string, keys []int, affine bo
 	}
 	ev := e.alloc()
 	ev.at, ev.seq, ev.fn, ev.name = at, e.seq, fn, name
+	ev.lfn = lfn
 	ev.keys, ev.affine, ev.period = keys, affine, period
 	ev.queue = &e.queue
 	e.seq++
@@ -378,11 +398,14 @@ func (e *Engine) DeclareLookahead(name string, dt float64) error {
 func (e *Engine) Lookahead() float64 { return e.span }
 
 // WindowStats reports the sharded loop's cumulative window count, events
-// committed through windows, and shard-prepared keys. prepared/windows is
-// the mean per-window parallel width — the work available to shard
-// workers regardless of how many CPUs the host actually has.
-func (e *Engine) WindowStats() (windows, events, prepared uint64) {
-	return e.windows, e.windowed, e.prepared
+// committed through windows, shard-prepared keys, and events whose
+// callbacks executed entirely on shard workers. prepared/windows is the
+// mean per-window parallel width — the work available to shard workers
+// regardless of how many CPUs the host actually has — and
+// committed/events is the committed-parallel fraction: the share of the
+// event stream that left the serial loop altogether.
+func (e *Engine) WindowStats() (windows, events, prepared, committed uint64) {
+	return e.windows, e.windowed, e.prepared, e.committed
 }
 
 // parallel reports whether runs use the sharded windowed loop.
@@ -408,7 +431,14 @@ func (e *Engine) sweepTombstones() {
 func (e *Engine) fire(ev *Event) {
 	e.now = ev.at
 	e.executed++
-	ev.fn(e)
+	if ev.lfn != nil {
+		// Local event on the serial loop (serial engine, or a demoted local
+		// on the sharded one): the direct Proc applies effects immediately,
+		// making the local API byte-identical to the plain one here.
+		ev.lfn(e.direct)
+	} else {
+		ev.fn(e)
+	}
 	if ev.period > 0 && !ev.cancelled {
 		ev.at += ev.period
 		ev.seq = e.seq

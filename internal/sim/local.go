@@ -1,0 +1,359 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Per-shard committed execution: local events and their effect buffers.
+//
+// A LOCAL event (ScheduleAtLocal / ScheduleAfterLocal / ScheduleEveryLocal)
+// is the strongest affinity class: its callback touches ONLY the model
+// state owned by its shard keys, and every side effect it emits — new
+// events, cancellations of its own events, deferred serial work such as a
+// telemetry publish — goes through the Proc it receives. That contract is
+// what lets the sharded run loop execute the callback ENTIRELY on a shard
+// worker goroutine, not just prefetch its state: the effects are buffered
+// per shard and replayed on the serial loop in strict (time, sequence)
+// order at window commit, so a parallel run is indistinguishable from the
+// serial one (see shard.go for the full protocol and safety argument).
+//
+// Local contract, on top of the affine contract (shard.go):
+//
+//   - the callback reads and writes nothing outside (a) state owned by its
+//     keys, (b) its own closure state that no other shard's events touch,
+//     and (c) the Proc;
+//   - clocks and scheduling reached indirectly (a node observing
+//     Engine-installed wall time, a watchdog replan fired from an input-
+//     change notification) must be routed through Engine.KeyNow /
+//     Engine.KeyPort so they resolve to the executing Proc during parallel
+//     phases;
+//   - events it schedules land at or beyond the enclosing window's end
+//     (every subsystem's self-rescheduling latency is at least one declared
+//     lookahead bound, so this follows from declaring honestly); recurring
+//     locals with a period below the window span are demoted to serial
+//     execution automatically;
+//   - Defer effects touch only serial-domain state (broker publishes, log
+//     appends) — never keyed model state another shard could read.
+//
+// The engine enforces what it can cheaply check: buffered schedules that
+// would land before an already-executed window event panic at commit, and
+// a committed local event found cancelled mid-window panics too — both are
+// contract violations that would otherwise silently diverge from the
+// serial trace.
+
+// Proc is the execution context handed to a local event's callback. On the
+// serial engine (and for demoted locals on the sharded one) it applies
+// every operation immediately, byte-for-byte like the plain Engine API; on
+// a shard worker it buffers them for the merge-ordered commit. A Proc is
+// only valid for the duration of the callback invocation it was passed to.
+type Proc struct {
+	eng    *Engine
+	shard  int
+	direct bool    // serial context: apply operations immediately
+	now    float64 // executing event's instant (workers; direct uses eng.now)
+	ops    []localOp
+
+	// stash holds recycled Events reserved for this shard's worker-side
+	// schedules (the engine free list is serial-loop-only). The run loop
+	// refills it between windows, one event per stash miss, so steady-state
+	// parallel scheduling allocates nothing once the stash has warmed to
+	// the per-window schedule volume.
+	stash  []*Event
+	misses int
+}
+
+// Op kinds of the per-shard effect buffer.
+const (
+	opSchedule = iota + 1
+	opCancel
+	opDefer
+)
+
+// localOp is one buffered side effect. Schedule ops carry a fully built
+// Event whose sequence number is assigned only at commit, reproducing the
+// exact serial numbering (including events scheduled and then cancelled
+// within the same window, which consume a sequence number either way).
+type localOp struct {
+	kind int
+	ev   *Event       // schedule target / cancel target
+	gen  uint64       // cancel: generation guard captured at buffer time
+	fn   func(*Engine) // defer
+}
+
+// Now returns the executing event's virtual time.
+func (p *Proc) Now() float64 {
+	if p.direct {
+		return p.eng.now
+	}
+	return p.now
+}
+
+// Shard returns the executing shard index (0 on the serial loop).
+func (p *Proc) Shard() int { return p.shard }
+
+// Engine returns the owning engine. Worker-side callbacks must treat it as
+// read-only configuration (Shards, Lookahead); all scheduling goes through
+// the Proc.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// ScheduleAt registers a plain (barrier) event at absolute time at; the
+// engine's ScheduleAt, buffered when executing on a shard worker.
+func (p *Proc) ScheduleAt(at float64, name string, fn func(*Engine)) (Handle, error) {
+	if p.direct {
+		return p.eng.ScheduleAt(at, name, fn)
+	}
+	return p.buffer(at, 0, name, nil, false, fn, nil)
+}
+
+// ScheduleAfter registers a plain (barrier) event delay seconds after the
+// executing event's instant.
+func (p *Proc) ScheduleAfter(delay float64, name string, fn func(*Engine)) (Handle, error) {
+	if delay < 0 {
+		return Handle{}, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
+	}
+	if p.direct {
+		return p.eng.schedule(p.eng.now+delay, 0, name, nil, false, fn, nil)
+	}
+	return p.buffer(p.now+delay, 0, name, nil, false, fn, nil)
+}
+
+// ScheduleAtLocal registers a local follow-up event (same contract as
+// Engine.ScheduleAtLocal) from within a local callback.
+func (p *Proc) ScheduleAtLocal(at float64, name string, keys []int, fn func(*Proc)) (Handle, error) {
+	if err := checkLocalKeys(name, keys); err != nil {
+		return Handle{}, err
+	}
+	if p.direct {
+		return p.eng.schedule(at, 0, name, keys, true, nil, fn)
+	}
+	return p.buffer(at, 0, name, keys, true, nil, fn)
+}
+
+// ScheduleAfterLocal is ScheduleAtLocal relative to the executing event's
+// instant.
+func (p *Proc) ScheduleAfterLocal(delay float64, name string, keys []int, fn func(*Proc)) (Handle, error) {
+	if delay < 0 {
+		return Handle{}, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
+	}
+	if err := checkLocalKeys(name, keys); err != nil {
+		return Handle{}, err
+	}
+	if p.direct {
+		return p.eng.schedule(p.eng.now+delay, 0, name, keys, true, nil, fn)
+	}
+	return p.buffer(p.now+delay, 0, name, keys, true, nil, fn)
+}
+
+// Cancel cancels an event through the Proc. Within a local callback this
+// is the ONLY valid way to cancel an event that may still sit in the
+// engine's shared queue (Handle.Cancel would mutate the heap off the
+// serial loop); cancelling the callback's own recurring event via
+// Ticker.Stop/Handle.Cancel stays safe because an executing event is
+// detached from the queue and only flagged.
+func (p *Proc) Cancel(h Handle) {
+	if p.direct {
+		h.Cancel()
+		return
+	}
+	if h.ev == nil {
+		return
+	}
+	p.ops = append(p.ops, localOp{kind: opCancel, ev: h.ev, gen: h.gen})
+}
+
+// Defer queues fn to run on the serial loop at this event's commit
+// position — after every earlier event's effects, before every later
+// one's. It is the bridge for the serial half of a local callback: a
+// telemetry batch built on the worker is published through Defer, so
+// broker dispatch and storage ingest keep their exact serial order. On the
+// serial engine Defer runs fn immediately.
+func (p *Proc) Defer(fn func(*Engine)) {
+	if p.direct {
+		fn(p.eng)
+		return
+	}
+	p.ops = append(p.ops, localOp{kind: opDefer, fn: fn})
+}
+
+// buffer validates and records one scheduled event without touching the
+// engine queue. The Event struct is heap-allocated here (the engine free
+// list is serial-loop-only); it joins the pool on its eventual release.
+// The sequence number is assigned at commit — see Engine.applyOps.
+func (p *Proc) buffer(at, period float64, name string, keys []int, affine bool, fn func(*Engine), lfn func(*Proc)) (Handle, error) {
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		return Handle{}, fmt.Errorf("sim: schedule %q: invalid time %v", name, at)
+	}
+	if at < p.now {
+		return Handle{}, fmt.Errorf("sim: schedule %q: time %.9f is before now %.9f", name, at, p.now)
+	}
+	var ev *Event
+	if n := len(p.stash); n > 0 {
+		ev = p.stash[n-1]
+		p.stash[n-1] = nil
+		p.stash = p.stash[:n-1]
+		ev.free = false
+	} else {
+		ev = &Event{eng: p.eng, index: -1}
+		p.misses++
+	}
+	ev.at, ev.fn, ev.lfn, ev.name = at, fn, lfn, name
+	ev.keys, ev.affine, ev.period = keys, affine, period
+	p.ops = append(p.ops, localOp{kind: opSchedule, ev: ev})
+	return Handle{ev: ev, gen: ev.gen}, nil
+}
+
+func checkLocalKeys(name string, keys []int) error {
+	if len(keys) == 0 {
+		return fmt.Errorf("sim: schedule %q: local events need at least one shard key", name)
+	}
+	return nil
+}
+
+// ScheduleAtLocal registers a LOCAL event: a shard-affine callback whose
+// side effects also stay within its keys' shard, received through a Proc.
+// On the serial engine (or when the window partitioner demotes it) the
+// callback runs on the loop with a direct Proc — identical semantics, no
+// buffering; on the sharded engine it may execute entirely on a shard
+// worker. The engine keeps the keys slice; callers must not mutate it.
+// See the Proc contract above.
+func (e *Engine) ScheduleAtLocal(at float64, name string, keys []int, fn func(*Proc)) (Handle, error) {
+	if err := checkLocalKeys(name, keys); err != nil {
+		return Handle{}, err
+	}
+	return e.schedule(at, 0, name, keys, true, nil, fn)
+}
+
+// ScheduleAfterLocal is ScheduleAtLocal relative to the current time.
+func (e *Engine) ScheduleAfterLocal(delay float64, name string, keys []int, fn func(*Proc)) (Handle, error) {
+	if delay < 0 {
+		return Handle{}, fmt.Errorf("sim: schedule %q: negative delay %v", name, delay)
+	}
+	if err := checkLocalKeys(name, keys); err != nil {
+		return Handle{}, err
+	}
+	return e.schedule(e.now+delay, 0, name, keys, true, nil, fn)
+}
+
+// ScheduleEveryLocal is ScheduleEvery for a local callback. A recurring
+// local whose period is below the engine's window span executes serially
+// (the next occurrence could land inside the window that ran it).
+func (e *Engine) ScheduleEveryLocal(start, period float64, name string, keys []int, fn func(*Proc)) (Handle, error) {
+	if err := checkPeriod(name, period); err != nil {
+		return Handle{}, err
+	}
+	if err := checkLocalKeys(name, keys); err != nil {
+		return Handle{}, err
+	}
+	return e.schedule(start, period, name, keys, true, nil, fn)
+}
+
+// Port is the scheduling surface a keyed subsystem reaches the engine
+// through when its code can run on either the serial loop or a shard
+// worker (the cluster's per-node watchdog replanner is the canonical
+// user). Engine.KeyPort resolves it: the Engine itself on the serial
+// loop, the executing shard's Proc during a parallel phase.
+type Port interface {
+	// Now returns the effective current virtual time.
+	Now() float64
+	// ScheduleAt registers a plain (barrier) event.
+	ScheduleAt(at float64, name string, fn func(*Engine)) (Handle, error)
+	// Cancel cancels an event (buffered on workers; see Proc.Cancel).
+	Cancel(h Handle)
+}
+
+// Cancel makes Engine satisfy Port: plain immediate cancellation.
+func (e *Engine) Cancel(h Handle) { h.Cancel() }
+
+// KeyNow returns the virtual time the given shard key's state should
+// observe: the executing shard's event instant during a parallel phase,
+// the engine clock otherwise. Per-node clocks installed into model state
+// route through this so demand-driven syncs triggered on a worker see the
+// worker's instant, not the stale serial clock.
+func (e *Engine) KeyNow(key int) float64 {
+	if e.inPar {
+		return e.procs[e.shardOf(key)].now
+	}
+	return e.now
+}
+
+// KeyPort returns the scheduling port for the given shard key: the
+// executing shard's Proc during a parallel phase (operations buffer for
+// the merge-ordered commit), the engine itself otherwise. Only code
+// reachable from a local callback of the SAME key may use the returned
+// port — that is what makes the unsynchronized Proc access safe.
+func (e *Engine) KeyPort(key int) Port {
+	if e.inPar {
+		return e.procs[e.shardOf(key)]
+	}
+	return e
+}
+
+// SetKeySpan declares the shard-key domain [0, n): keys then map to
+// shards in contiguous blocks instead of round-robin modulo, so an
+// allocation of neighbouring nodes (the common scheduler placement) lands
+// on ONE shard and its events stay worker-executable instead of being
+// demoted as cross-shard. Keys outside the span fall back to modulo.
+// The mapping is wall-clock tuning only: results are byte-identical under
+// any key-to-shard function.
+func (e *Engine) SetKeySpan(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.keySpan = n
+}
+
+// shardOf maps a shard key to its worker index.
+func (e *Engine) shardOf(key int) int {
+	if key >= 0 && key < e.keySpan {
+		s := key * e.shards / e.keySpan
+		if s >= e.shards {
+			s = e.shards - 1
+		}
+		return s
+	}
+	s := key % e.shards
+	if s < 0 {
+		s += e.shards
+	}
+	return s
+}
+
+// applyOps replays one committed event's buffered effects on the serial
+// loop, in recording order. Schedule ops take their sequence numbers HERE,
+// so the numbering (and therefore every later tie-break) is exactly what
+// the serial loop would have produced; a schedule followed by a cancel of
+// the same event still consumes its number, again matching serial
+// semantics. The winParMax guard catches local callbacks scheduling into
+// their own window — an ordering the parallel phase already foreclosed.
+func (e *Engine) applyOps(p *Proc, lo, hi int32) {
+	ops := p.ops[lo:hi]
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case opSchedule:
+			ev := op.ev
+			if ev.at < e.winParMax {
+				panic(fmt.Sprintf("sim: local event scheduled %q at %.9f inside its own window (parallel frontier %.9f); schedule beyond the declared lookahead", ev.name, ev.at, e.winParMax))
+			}
+			ev.seq = e.seq
+			e.seq++
+			if ev.cancelled {
+				// Buffer-time bookkeeping cannot cancel (cancel is an op);
+				// defensive: a cancelled-before-queue event just consumed
+				// its sequence number, like the serial path.
+				e.release(ev)
+				break
+			}
+			ev.queue = &e.queue
+			e.queue.Push(ev)
+		case opCancel:
+			if op.ev != nil && op.gen == op.ev.gen {
+				op.ev.cancel()
+			}
+		case opDefer:
+			op.fn(e)
+		}
+		*op = localOp{} // drop closure/event references promptly
+	}
+}

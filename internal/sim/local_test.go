@@ -1,0 +1,401 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// buildLocalProgram schedules a randomized but seed-deterministic program
+// built around LOCAL events — the per-shard committed execution path:
+// one-shot locals over random key sets (cross-shard sets exercise the
+// demotion path), worker-buffered follow-up schedules and cancels, local
+// tickers above and below the window span, plus plain barriers mixed in.
+// Every trace entry is recorded through Proc.Defer, so the recorded order
+// IS the commit order the serial loop would have produced — the oracle the
+// sharded runs are held to. All randomness is drawn at build time: local
+// callbacks execute on shard workers in nondeterministic relative order,
+// so they must not share an RNG.
+func buildLocalProgram(t *testing.T, e *Engine, c *cells, trace *[]string, seed int64) {
+	t.Helper()
+	const span = 0.1
+	if err := e.DeclareLookahead("test.span", span); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(c.t)
+	record := func(p *Proc, name string, at float64) {
+		p.Defer(func(*Engine) {
+			*trace = append(*trace, fmt.Sprintf("%s@%.6f", name, at))
+		})
+	}
+	keysOf := func() []int {
+		keys := make([]int, 0, 2)
+		for len(keys) < 1+rng.Intn(2) {
+			keys = append(keys, rng.Intn(n))
+		}
+		return keys
+	}
+	// One-shot locals; every fourth schedules a local follow-up from its
+	// callback with build-time-drawn parameters (delay >= span, honouring
+	// the declared lookahead like every production subsystem).
+	for i := 0; i < 40; i++ {
+		at := rng.Float64() * 20
+		keys := keysOf()
+		name := fmt.Sprintf("loc%d", i)
+		withChild := i%4 == 0
+		childDelay := span + rng.Float64()
+		childKeys := keysOf()
+		fn := func(p *Proc) {
+			now := p.Now()
+			for _, k := range keys {
+				c.sync(k, now)
+			}
+			record(p, name, now)
+			if withChild {
+				child := name + ".child"
+				if _, err := p.ScheduleAfterLocal(childDelay, child, childKeys, func(p2 *Proc) {
+					now2 := p2.Now()
+					for _, k := range childKeys {
+						c.sync(k, now2)
+					}
+					record(p2, child, now2)
+				}); err != nil {
+					t.Errorf("schedule %s: %v", child, err)
+				}
+			}
+		}
+		if _, err := e.ScheduleAtLocal(at, name, keys, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Buffered cancels: a local killer cancels a local event at least one
+	// lookahead span later (so the target is never in the killer's own
+	// window — the local contract). Half the killers leave their target
+	// alive, pinning the gen-guard path both ways.
+	for i := 0; i < 6; i++ {
+		at := rng.Float64() * 15
+		k := rng.Intn(n)
+		doomedAt := at + span + 0.01 + rng.Float64()*2
+		dk := rng.Intn(n)
+		dname := fmt.Sprintf("doomed%d", i)
+		h, err := e.ScheduleAtLocal(doomedAt, dname, []int{dk}, func(p *Proc) {
+			c.sync(dk, p.Now())
+			record(p, dname, p.Now())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cancel := i%2 == 0
+		cname := fmt.Sprintf("killer%d", i)
+		if _, err := e.ScheduleAtLocal(at, cname, []int{k}, func(p *Proc) {
+			c.sync(k, p.Now())
+			record(p, cname, p.Now())
+			if cancel {
+				p.Cancel(h)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Local tickers: period >= span runs on workers; the fast one below the
+	// span is demoted to serial every window — identical semantics.
+	for i := 0; i < 3; i++ {
+		k := rng.Intn(n)
+		name := fmt.Sprintf("ltick%d", i)
+		if _, err := NewLocalTicker(e, 0.25+float64(i)*0.2, 0.5, name, []int{k}, func(p *Proc, now float64) {
+			c.sync(k, now)
+			record(p, name, now)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fk := rng.Intn(n)
+	if _, err := NewLocalTicker(e, 0.1, 0.05, "fast", []int{fk}, func(p *Proc, now float64) {
+		c.sync(fk, now)
+		record(p, "fast", now)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Plain barriers sweep cells serially; they terminate windows, so the
+	// direct trace append cannot race the workers.
+	for i := 0; i < 5; i++ {
+		at := rng.Float64() * 20
+		name := fmt.Sprintf("bar%d", i)
+		if _, err := e.ScheduleAt(at, name, func(en *Engine) {
+			for k := 0; k < n; k += 3 {
+				c.sync(k, en.Now())
+			}
+			*trace = append(*trace, fmt.Sprintf("%s@%.6f", name, en.Now()))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A mid-run transition deadline: events touching cell 0 near it fail
+	// the safety probe and run window-terminal.
+	c.deadline[0] = 10
+}
+
+// runLocalProgram executes the local program to the horizon and returns
+// the commit-ordered trace, the per-cell integration histories and the
+// engine's committed-parallel event count.
+func runLocalProgram(t *testing.T, shards int, seed int64, keySpan int) ([]string, [][]float64, uint64) {
+	t.Helper()
+	e := NewEngine()
+	c := newCells(16, 0.1)
+	if shards > 1 {
+		e.SetShards(shards)
+		e.SetPreparer(c.prepare, c.safe)
+		if keySpan > 0 {
+			e.SetKeySpan(keySpan)
+		}
+	}
+	var trace []string
+	buildLocalProgram(t, e, c, &trace, seed)
+	if err := e.RunUntil(21); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, committed := e.WindowStats()
+	return trace, c.hist, committed
+}
+
+// TestLocalEngineMatchesSerial is the shard-purity property test for
+// per-shard committed execution: randomized local-event programs must
+// produce byte-identical commit traces and integration histories at every
+// shard count and under both key-to-shard mappings (modulo and block), and
+// the sharded runs must actually commit events in parallel — demoting
+// everything to serial would pass the identity check while proving
+// nothing.
+func TestLocalEngineMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		trace0, hist0, _ := runLocalProgram(t, 1, seed, 0)
+		for _, shards := range []int{2, 4, 8} {
+			for _, keySpan := range []int{0, 16} {
+				trace, hist, committed := runLocalProgram(t, shards, seed, keySpan)
+				if committed == 0 {
+					t.Errorf("seed %d shards %d keySpan %d: no events committed in parallel", seed, shards, keySpan)
+				}
+				if fmt.Sprint(trace) != fmt.Sprint(trace0) {
+					t.Fatalf("seed %d shards %d keySpan %d: commit trace diverged\nserial:  %v\nsharded: %v",
+						seed, shards, keySpan, trace0, trace)
+				}
+				if fmt.Sprint(hist) != fmt.Sprint(hist0) {
+					t.Fatalf("seed %d shards %d keySpan %d: integration instants diverged\nserial:  %v\nsharded: %v",
+						seed, shards, keySpan, hist0, hist)
+				}
+			}
+		}
+	}
+}
+
+// localHarness builds a 2-shard engine with a no-op preparer, a declared
+// 0.1 s lookahead and a far trailing barrier (so the events under test are
+// never the demoted window tail).
+func localHarness(t *testing.T, shards int) *Engine {
+	t.Helper()
+	e := NewEngine()
+	e.SetShards(shards)
+	e.SetPreparer(func(int, float64) {}, func(int, float64) bool { return true })
+	if err := e.DeclareLookahead("test.span", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ScheduleAt(50, "tail", func(*Engine) {}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestLocalDeferCommitOrder: Defer effects from locals executing on
+// DIFFERENT shard workers within one window replay in strict (time, seq)
+// order at commit, regardless of which worker finishes first.
+func TestLocalDeferCommitOrder(t *testing.T) {
+	e := localHarness(t, 2)
+	var got []string
+	// Keys 0 and 1 map to shards 0 and 1; interleave their event times.
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("ev%d", i)
+		k := i % 2
+		if _, err := e.ScheduleAtLocal(0.01+float64(i)*0.001, name, []int{k}, func(p *Proc) {
+			n := name
+			p.Defer(func(*Engine) { got = append(got, n) })
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "ev0 ev1 ev2 ev3 ev4 ev5"
+	if s := strings.Join(got, " "); s != want {
+		t.Errorf("commit order = %q, want %q", s, want)
+	}
+	if _, _, _, committed := e.WindowStats(); committed < 6 {
+		t.Errorf("committed-parallel = %d, want >= 6 (events demoted?)", committed)
+	}
+}
+
+// TestLocalBufferedCancel: a worker-buffered Proc.Cancel applied at commit
+// kills an event in a later window; a stale handle (generation mismatch)
+// is a no-op.
+func TestLocalBufferedCancel(t *testing.T) {
+	e := localHarness(t, 2)
+	fired := map[string]bool{}
+	sched := func(at float64, name string, k int) Handle {
+		h, err := e.ScheduleAtLocal(at, name, []int{k}, func(p *Proc) {
+			n := name
+			p.Defer(func(*Engine) { fired[n] = true })
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	doomed := sched(5, "doomed", 1)
+	stale := Handle{ev: doomed.ev, gen: doomed.gen - 1}
+	survivor := sched(5.01, "survivor", 0)
+	_ = survivor
+	if _, err := e.ScheduleAtLocal(1, "killer", []int{0}, func(p *Proc) {
+		p.Cancel(doomed)
+		p.Cancel(stale) // stale generation: must not cancel anything
+		p.Defer(func(*Engine) { fired["killer"] = true })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired["doomed"] {
+		t.Error("cancelled event fired")
+	}
+	if !fired["killer"] || !fired["survivor"] {
+		t.Errorf("fired = %v, want killer and survivor", fired)
+	}
+}
+
+// TestRecurringLocalCommit: a recurring local with period >= span executes
+// on workers and reschedules at commit with serial-identical instants; one
+// below the span is demoted every window but fires identically.
+func TestRecurringLocalCommit(t *testing.T) {
+	run := func(shards int) []string {
+		e := NewEngine()
+		if shards > 1 {
+			e.SetShards(shards)
+			e.SetPreparer(func(int, float64) {}, func(int, float64) bool { return true })
+		}
+		if err := e.DeclareLookahead("test.span", 0.1); err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		tick := func(name string, k int, start, period float64) {
+			if _, err := NewLocalTicker(e, start, period, name, []int{k}, func(p *Proc, now float64) {
+				n := fmt.Sprintf("%s@%.3f", name, now)
+				p.Defer(func(*Engine) { got = append(got, n) })
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tick("slow", 0, 0.1, 0.5)  // >= span: worker-executed
+		tick("fast", 1, 0.1, 0.04) // < span: demoted to serial
+		if err := e.RunUntil(2); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	serial := run(1)
+	if len(serial) == 0 {
+		t.Fatal("no ticks recorded")
+	}
+	for _, shards := range []int{2, 4} {
+		if got := run(shards); fmt.Sprint(got) != fmt.Sprint(serial) {
+			t.Errorf("shards=%d ticks diverged\nserial: %v\ngot:    %v", shards, serial, got)
+		}
+	}
+}
+
+// TestKeyNowKeyPortRouting: during a parallel phase KeyNow/KeyPort resolve
+// to the executing shard's Proc (the worker's event instant, buffered
+// scheduling); outside one they resolve to the engine itself.
+func TestKeyNowKeyPortRouting(t *testing.T) {
+	e := localHarness(t, 2)
+	var barrierAt float64
+	var portNow, keyNow, procNow float64
+	if _, err := e.ScheduleAtLocal(1, "probe", []int{1}, func(p *Proc) {
+		procNow = p.Now()
+		keyNow = e.KeyNow(1)
+		port := e.KeyPort(1)
+		portNow = port.Now()
+		if _, err := port.ScheduleAt(5, "probe.barrier", func(en *Engine) {
+			barrierAt = en.Now()
+		}); err != nil {
+			t.Errorf("port.ScheduleAt: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if now := e.KeyNow(1); now != 0 {
+		t.Errorf("KeyNow outside run = %v, want 0", now)
+	}
+	if port := e.KeyPort(1); port != Port(e) {
+		t.Errorf("KeyPort outside a parallel phase = %T, want the engine", port)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if procNow != 1 || keyNow != 1 || portNow != 1 {
+		t.Errorf("proc/key/port now = %v/%v/%v, want 1/1/1", procNow, keyNow, portNow)
+	}
+	if barrierAt != 5 {
+		t.Errorf("port-scheduled barrier fired at %v, want 5", barrierAt)
+	}
+}
+
+// TestSetKeySpanBlockMapping: with a declared key span, keys map to shards
+// in contiguous blocks; outside the span (and without one) mapping falls
+// back to modulo with negative keys wrapped.
+func TestSetKeySpanBlockMapping(t *testing.T) {
+	e := NewEngine()
+	e.SetShards(4)
+	e.SetKeySpan(16)
+	for _, tc := range []struct{ key, shard int }{
+		{0, 0}, {3, 0}, {4, 1}, {7, 1}, {8, 2}, {15, 3}, // block map
+		{16, 0}, {21, 1}, // outside the span: modulo
+		{-1, 3}, // negative: wrapped modulo
+	} {
+		if got := e.shardOf(tc.key); got != tc.shard {
+			t.Errorf("shardOf(%d) = %d, want %d", tc.key, got, tc.shard)
+		}
+	}
+	e.SetKeySpan(0) // back to pure modulo
+	if got := e.shardOf(5); got != 1 {
+		t.Errorf("shardOf(5) without span = %d, want 1", got)
+	}
+}
+
+// TestLocalScheduleInsideOwnWindowPanics: a worker-buffered schedule that
+// lands before an already-committed parallel event is a contract violation
+// the commit path must catch, not silently reorder.
+func TestLocalScheduleInsideOwnWindowPanics(t *testing.T) {
+	e := localHarness(t, 2)
+	if _, err := e.ScheduleAtLocal(0.01, "offender", []int{0}, func(p *Proc) {
+		// Lands at 0.0101 — before the 0.05 parallel event below.
+		if _, err := p.ScheduleAfterLocal(0.0001, "toosoon", []int{0}, func(*Proc) {}); err != nil {
+			t.Errorf("buffer: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ScheduleAtLocal(0.05, "later", []int{1}, func(*Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("commit accepted a schedule inside its own window")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "inside its own window") {
+			t.Fatalf("panic = %q, want the own-window diagnostic", msg)
+		}
+	}()
+	_ = e.Run()
+}

@@ -1,60 +1,94 @@
 package sim
 
-import "sync"
+import (
+	"math"
+	"sync"
+)
 
-// Sharded execution: conservative lookahead windows with a parallel
-// prepare / serial commit protocol.
+// Sharded execution: conservative lookahead windows with per-shard
+// COMMITTED execution — parallel prepare AND parallel local callbacks,
+// merged into a serial commit.
 //
-// The engine never runs two event callbacks concurrently — callbacks
-// execute strictly in (time, sequence) order exactly as the serial loop
-// does, which is what makes a fixed seed produce byte-identical reports
-// and event logs at any shard count. What runs in parallel is the
-// expensive part the callbacks would otherwise do first thing serially:
-// integrating per-node model state (Euler thermal steps, counter
-// advances) up to the event instant. The loop:
+// The observable behaviour never changes: for a fixed seed the engine
+// produces byte-identical reports and event logs at any shard count,
+// because every side effect is applied on the serial loop in strict
+// (time, sequence) order. What runs in parallel per window:
 //
-//  1. collects a window: events popped in order up to the minimum declared
-//     lookahead span, stopping at (and including) the first barrier — any
-//     event not declared shard-affine — or the first event with a key too
-//     close to a state transition to prepare off-loop;
-//  2. builds a prepare plan: for every shard key touched by the window,
-//     the instant of its FIRST touching event (later touches are synced
-//     serially by the callbacks themselves, exactly as in a serial run);
-//  3. fans the plan out over shard workers (key mod shard count) which
-//     prefetch each key's state to exactly its first-touch instant;
-//  4. commits the window serially: buffered events interleaved with any
-//     events scheduled meanwhile, in (time, sequence) order.
+//   - state PREPARE, as since the first sharded engine: per-key model
+//     state (Euler thermal steps, counter advances) integrated to each
+//     key's first-touch instant on shard workers;
+//   - LOCAL event callbacks (Schedule*Local): events whose keys map to a
+//     single shard and whose effects stay within it execute entirely on
+//     that shard's worker, writing side effects (schedules, cancels,
+//     deferred publishes) into the shard's effect buffer. The commit then
+//     walks the window in (time, sequence) order and REPLAYS each
+//     worker-executed event's buffered ops at its exact serial position.
 //
-// Determinism argument. A prepared key is integrated to exactly the
-// instant its first touching event would have integrated it to (the
-// callback's own lazy sync then degenerates to a no-op), so the set of
-// integration instants per node — which the Euler grid, the quiescent
-// relaxation and the EWMA updates are all sensitive to — is identical to
-// the serial schedule. Three rules close the remaining holes:
+// The loop per window:
 //
-//   - barriers terminate windows, so an event that may cancel other
-//     events, redistribute power caps or start jobs can never invalidate
-//     a later event of its own window (there is none);
-//   - keys failing the preparer's safety check (a boot completion or
-//     thermal-trip deadline within one base step of the event) also
-//     terminate the window and are integrated serially, so state
-//     transitions only ever fire during the window's last event or on the
-//     serial loop between windows;
-//   - the window span is capped at the minimum declared lookahead, and
-//     every subsystem's self-rescheduling latency (watchdog replans at >=
-//     one integration step, workload phases and telemetry periods far
-//     above it) is at least that bound — so events scheduled during a
-//     window land beyond it, and a committed window executes exactly the
-//     event set it prepared.
+//  1. collect: pop events in order up to the minimum declared lookahead
+//     span, stopping at (and including) the first barrier — any event not
+//     declared shard-affine — or the first event with a key too close to
+//     a state transition to integrate off-loop;
+//  2. partition: walk the window in order and mark each LOCAL event for
+//     worker execution unless a demotion rule applies (below); every
+//     serially-executing event POISONS its keys, demoting later locals
+//     that share them;
+//  3. build the first-touch prepare plan (unchanged);
+//  4. parallel phase: each shard worker runs its prepare batch, then its
+//     local events in window order, buffering effects;
+//  5. commit: walk the window interleaved with the queue in (time,
+//     sequence) order; worker-executed events replay their effect buffers,
+//     everything else fires on the loop exactly as before.
+//
+// Demotion rules (any one forces serial execution and poisons the keys):
+//
+//   - not a local event (plain barriers, affine prepare-only events);
+//   - keys span more than one shard (the event's state crosses workers;
+//     SetKeySpan's block mapping keeps contiguous allocations on one);
+//   - a key was poisoned by an earlier serial event of the same window
+//     (the local would observe state that serial event has not yet
+//     mutated — or mutate state it has not yet read);
+//   - the event sits exactly at the window end (ev.at == end): the
+//     one-base-step transition margin below needs strict inequality;
+//   - a recurring local whose period is below the window span (its next
+//     occurrence could land inside this very window);
+//   - the window has no finite span (no declared lookahead), or the event
+//     is the unsafe-keyed terminal.
+//
+// Transition safety for worker-side execution. A local callback may
+// lazily sync its node across the window (mutators observe the clock via
+// Engine.KeyNow). No state transition can fire on a worker because:
+// pre-window state passed the preparer's safety probe (next deadline
+// strictly beyond the event instant plus one base step), and any
+// mid-window mutation by an EARLIER same-shard local at t' re-arms the
+// deadline to >= t' + base >= window start + base >= window end > ev.at
+// (window span <= base because the cluster declares its integration step
+// as a lookahead bound, and ev.at < end by the boundary demotion rule).
+// Transitions therefore only ever fire during the window's serial tail or
+// between windows — exactly as in the prepare-only engine.
+//
+// Ordering safety for buffered effects. Events scheduled by a local
+// callback land at or beyond the window end (each subsystem's
+// self-rescheduling latency is at least its declared lookahead), so no
+// buffered schedule can precede an event that already executed on a
+// worker; the commit enforces this with the winParMax panic guard
+// (local.go). Buffered cancels only target the callback's own events
+// (affine contract), which are either in its own buffer or beyond the
+// window. Defer effects touch serial-domain state only (telemetry,
+// logs) and replay at the event's commit position, preserving broker
+// and storage ingest order exactly.
 //
 // Affine contract (ScheduleAtAffine/ScheduleAfterAffine): the callback's
 // keys must cover every shard key whose model state it integrates or
 // mutates, it must not cancel events other than ones it scheduled itself,
 // and any events it schedules must not precede the current instant.
-// Cross-shard interactions — scheduler decisions, MPI collectives
-// resolving at phase boundaries, power-plane cap redistribution, campaign
-// arrivals — stay plain (barrier) events, optionally with prepare keys
-// (ScheduleAtPrepared) when their touched set is known at scheduling time.
+// Local events (Schedule*Local) add the effect-routing contract in
+// local.go. Cross-shard interactions — scheduler decisions, MPI
+// collectives resolving at phase boundaries, power-plane cap
+// redistribution, campaign arrivals, fault injections — stay plain
+// (barrier) events, optionally with prepare keys (ScheduleAtPrepared)
+// when their touched set is known at scheduling time.
 
 // maxWindowEvents bounds the window buffer (memory guard; windows this
 // large only occur in telemetry-dense monitored runs).
@@ -66,23 +100,33 @@ type prep struct {
 	at  float64
 }
 
-// prepPool is a set of persistent shard workers for one run. Workers live
-// for the duration of a Run/RunUntil call (runSharded closes them on the
-// way out), so per-window fan-out costs one channel send per shard.
-type prepPool struct {
-	prepare func(key int, at float64)
-	work    chan []prep
-	wg      sync.WaitGroup
+// winMeta is one window event's execution record: whether it ran on a
+// shard worker, which shard, and the half-open op range it wrote into
+// that shard's effect buffer. Workers write the op range of their own
+// events only (distinct slice elements), the loop reads after the join.
+type winMeta struct {
+	par        bool
+	shard      int32
+	opLo, opHi int32
 }
 
-func newPrepPool(workers int, prepare func(key int, at float64)) *prepPool {
-	p := &prepPool{prepare: prepare, work: make(chan []prep, workers)}
-	for i := 0; i < workers; i++ {
+// shardPool is the set of persistent shard workers for one run. Workers
+// live for the duration of a Run/RunUntil call (runSharded closes them on
+// the way out), so per-window fan-out costs one channel send per active
+// shard. Each worker message is a shard index; the worker runs that
+// shard's prepare batch and local event queue (Engine.runShardWork).
+type shardPool struct {
+	eng  *Engine
+	work chan int
+	wg   sync.WaitGroup
+}
+
+func newShardPool(e *Engine) *shardPool {
+	p := &shardPool{eng: e, work: make(chan int, e.shards)}
+	for i := 0; i < e.shards; i++ {
 		go func() {
-			for batch := range p.work {
-				for _, w := range batch {
-					p.prepare(w.key, w.at)
-				}
+			for s := range p.work {
+				p.eng.runShardWork(s)
 				p.wg.Done()
 			}
 		}()
@@ -90,34 +134,49 @@ func newPrepPool(workers int, prepare func(key int, at float64)) *prepPool {
 	return p
 }
 
-// run dispatches the non-empty batches and waits for all of them.
-func (p *prepPool) run(batches [][]prep) {
-	n := 0
-	for _, b := range batches {
-		if len(b) > 0 {
-			n++
-		}
-	}
-	if n == 0 {
-		return
-	}
-	p.wg.Add(n)
-	for _, b := range batches {
-		if len(b) > 0 {
-			p.work <- b
-		}
+// run dispatches the active shards and waits for all of them.
+func (p *shardPool) run(active []int) {
+	p.wg.Add(len(active))
+	for _, s := range active {
+		p.work <- s
 	}
 	p.wg.Wait()
 }
 
-func (p *prepPool) close() { close(p.work) }
+func (p *shardPool) close() { close(p.work) }
+
+// runShardWork executes one shard's window work on a worker goroutine:
+// first the prepare batch (each key integrated to its first-touch
+// instant), then the shard's local events in window order, recording each
+// event's effect-buffer range. Everything it touches is either owned by
+// this shard's keys or written into per-shard structures the loop reads
+// only after the join.
+func (e *Engine) runShardWork(s int) {
+	for _, w := range e.shard[s] {
+		e.prepare(w.key, w.at)
+	}
+	p := e.procs[s]
+	for _, wi := range e.lq[s] {
+		ev := e.win[wi]
+		p.now = ev.at
+		lo := int32(len(p.ops))
+		ev.lfn(p)
+		e.winMeta[wi].opLo, e.winMeta[wi].opHi = lo, int32(len(p.ops))
+	}
+}
 
 // runSharded is the windowed run loop (both Run and RunUntil dispatch here
 // when sharding is active). bounded selects RunUntil semantics: stop
 // before events beyond horizon and leave the clock there.
 func (e *Engine) runSharded(horizon float64, bounded bool) error {
 	e.stopped = false
-	pool := newPrepPool(e.shards, e.prepare)
+	if len(e.procs) < e.shards {
+		e.procs = make([]*Proc, e.shards)
+		for i := range e.procs {
+			e.procs[i] = &Proc{eng: e, shard: i}
+		}
+	}
+	pool := newShardPool(e)
 	defer pool.close()
 	for {
 		e.sweepTombstones()
@@ -128,8 +187,26 @@ func (e *Engine) runSharded(horizon float64, bounded bool) error {
 			break
 		}
 		e.collectWindow(horizon, bounded)
-		e.prepareWindow(pool)
-		if err := e.drainWindow(); err != nil {
+		par := e.partitionWindow()
+		e.planWindow()
+		e.dispatchWindow(pool, par)
+		err := e.drainWindow()
+		for _, p := range e.procs {
+			p.ops = p.ops[:0]
+			// Re-stock the shard's event stash from the serial free list,
+			// one recycled Event per stash miss: the stash converges on the
+			// shard's per-window schedule volume and worker-side scheduling
+			// stops allocating.
+			for p.misses > 0 && len(e.freeList) > 0 {
+				n := len(e.freeList) - 1
+				p.stash = append(p.stash, e.freeList[n])
+				e.freeList[n] = nil
+				e.freeList = e.freeList[:n]
+				p.misses--
+			}
+			p.misses = 0
+		}
+		if err != nil {
 			e.sweepTombstones()
 			return err
 		}
@@ -146,10 +223,12 @@ func (e *Engine) runSharded(horizon float64, bounded bool) error {
 func (e *Engine) collectWindow(horizon float64, bounded bool) {
 	e.win = e.win[:0]
 	e.winPos = 0
+	e.winTailUnsafe = false
 	end := e.queue.Peek().at + e.span
 	if bounded && horizon < end {
 		end = horizon
 	}
+	e.winEnd = end
 	for e.queue.Len() > 0 && len(e.win) < maxWindowEvents {
 		ev := e.queue.Peek()
 		if ev.cancelled {
@@ -161,7 +240,11 @@ func (e *Engine) collectWindow(horizon float64, bounded bool) {
 		}
 		e.queue.Pop()
 		e.win = append(e.win, ev)
-		if !ev.affine || !e.keysSafe(ev) {
+		if !ev.affine {
+			break
+		}
+		if !e.keysSafe(ev) {
+			e.winTailUnsafe = true
 			break
 		}
 	}
@@ -180,11 +263,73 @@ func (e *Engine) keysSafe(ev *Event) bool {
 	return true
 }
 
-// prepareWindow builds the first-touch plan over the buffered events and
-// fans it out across the shard workers. Plans with a single key skip the
-// pool. Distinct keys own distinct state, so cross-worker completion order
-// is irrelevant; within a worker, keys prepare in plan (time) order.
-func (e *Engine) prepareWindow(pool *prepPool) {
+// partitionWindow assigns each window event an execution mode (see the
+// demotion rules in the package comment), building the per-shard local
+// run queues. Returns the number of worker-executable events.
+func (e *Engine) partitionWindow() int {
+	if cap(e.winMeta) < len(e.win) {
+		e.winMeta = make([]winMeta, len(e.win))
+	}
+	e.winMeta = e.winMeta[:len(e.win)]
+	for i := range e.winMeta {
+		e.winMeta[i] = winMeta{}
+	}
+	if len(e.lq) < e.shards {
+		e.lq = make([][]int, e.shards)
+	}
+	for i := range e.lq {
+		e.lq[i] = e.lq[i][:0]
+	}
+	if e.poison == nil {
+		e.poison = make(map[int]bool)
+	}
+	e.winParMax = math.Inf(-1)
+	finiteSpan := !math.IsInf(e.span, 1)
+	par := 0
+	for wi, ev := range e.win {
+		ok := finiteSpan && ev.lfn != nil && len(ev.keys) > 0 &&
+			ev.at < e.winEnd &&
+			!(ev.period > 0 && ev.period < e.span) &&
+			!(e.winTailUnsafe && wi == len(e.win)-1)
+		s := 0
+		if ok {
+			s = e.shardOf(ev.keys[0])
+			for _, k := range ev.keys {
+				if e.shardOf(k) != s || e.poison[k] {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			for _, k := range ev.keys {
+				if !e.poison[k] {
+					e.poison[k] = true
+					e.poisoned = append(e.poisoned, k)
+				}
+			}
+			continue
+		}
+		e.winMeta[wi] = winMeta{par: true, shard: int32(s)}
+		e.lq[s] = append(e.lq[s], wi)
+		par++
+		if ev.at > e.winParMax {
+			e.winParMax = ev.at
+		}
+	}
+	for _, k := range e.poisoned {
+		delete(e.poison, k)
+	}
+	e.poisoned = e.poisoned[:0]
+	e.committed += uint64(par)
+	return par
+}
+
+// planWindow builds the first-touch prepare plan over the buffered events
+// and batches it by shard. Distinct keys own distinct state, so
+// cross-worker completion order is irrelevant; within a worker, keys
+// prepare in plan (time) order, before the shard's local events run.
+func (e *Engine) planWindow() {
 	if e.seen == nil {
 		e.seen = make(map[int]bool)
 	}
@@ -204,13 +349,6 @@ func (e *Engine) prepareWindow(pool *prepPool) {
 	e.windows++
 	e.windowed += uint64(len(e.win))
 	e.prepared += uint64(len(plan))
-	switch len(plan) {
-	case 0:
-		return
-	case 1:
-		e.prepare(plan[0].key, plan[0].at)
-		return
-	}
 	if len(e.shard) < e.shards {
 		e.shard = make([][]prep, e.shards)
 	}
@@ -219,25 +357,66 @@ func (e *Engine) prepareWindow(pool *prepPool) {
 		batches[i] = batches[i][:0]
 	}
 	for _, p := range plan {
-		s := p.key % e.shards
-		if s < 0 {
-			s += e.shards
-		}
+		s := e.shardOf(p.key)
 		batches[s] = append(batches[s], p)
 	}
 	for i := range batches {
 		e.shard[i] = batches[i]
 	}
-	pool.run(batches)
+}
+
+// dispatchWindow runs the parallel phase: every shard with a prepare
+// batch or a local run queue executes on a worker (a single active shard
+// runs inline on the loop — same code path, no channel hop). Windows with
+// no local events and at most one prepare entry keep the historical
+// short-circuit.
+func (e *Engine) dispatchWindow(pool *shardPool, par int) {
+	if par == 0 {
+		switch len(e.plan) {
+		case 0:
+			return
+		case 1:
+			e.prepare(e.plan[0].key, e.plan[0].at)
+			return
+		}
+	}
+	active := e.active[:0]
+	for s := 0; s < e.shards; s++ {
+		if len(e.shard[s]) > 0 || len(e.lq[s]) > 0 {
+			active = append(active, s)
+		}
+	}
+	e.active = active
+	if len(active) == 0 {
+		return
+	}
+	// inPar flips the engine's key-routed clock and scheduling ports
+	// (KeyNow, KeyPort) onto the per-shard Procs. It is written only here,
+	// while every worker is idle; the pool's channel send/WaitGroup join
+	// order the accesses.
+	e.inPar = true
+	if len(active) == 1 {
+		e.runShardWork(active[0])
+	} else {
+		pool.run(active)
+	}
+	e.inPar = false
 }
 
 // drainWindow commits the window serially: buffered events interleaved by
-// (time, sequence) with anything scheduled meanwhile, skipping events
-// cancelled since collection.
+// (time, sequence) with anything scheduled meanwhile. Worker-executed
+// events replay their effect buffers at their exact serial position;
+// everything else fires on the loop. Events cancelled since collection
+// are skipped (a worker-executed event found cancelled is a contract
+// violation — its callback already ran).
 func (e *Engine) drainWindow() error {
 	for e.winPos < len(e.win) {
 		ev := e.win[e.winPos]
+		m := &e.winMeta[e.winPos]
 		if ev.cancelled {
+			if m.par {
+				panic("sim: committed local event " + ev.name + " cancelled mid-window (affine contract violation)")
+			}
 			e.winPos++
 			e.release(ev)
 			continue
@@ -258,7 +437,11 @@ func (e *Engine) drainWindow() error {
 			}
 		}
 		e.winPos++
-		e.fire(ev)
+		if m.par {
+			e.commitLocal(ev, m)
+		} else {
+			e.fire(ev)
+		}
 		if e.stopped {
 			return e.stopMidWindow()
 		}
@@ -268,13 +451,40 @@ func (e *Engine) drainWindow() error {
 	return nil
 }
 
-// stopMidWindow re-queues the live remainder of the window buffer and
-// drops its tombstones (the terminal cancelled-event drain: a stopped run
-// must leave Pending counting live events only), then reports the stop.
+// commitLocal applies one worker-executed event at its serial position:
+// advance the clock, replay its buffered effects (which assigns sequence
+// numbers exactly as the serial callback would have), then reschedule a
+// live recurring event in place — the next occurrence taking its number
+// AFTER the callback's own scheduling activity, exactly like fire.
+func (e *Engine) commitLocal(ev *Event, m *winMeta) {
+	e.now = ev.at
+	e.executed++
+	e.applyOps(e.procs[m.shard], m.opLo, m.opHi)
+	if ev.period > 0 && !ev.cancelled {
+		ev.at += ev.period
+		ev.seq = e.seq
+		e.seq++
+		ev.queue = &e.queue
+		e.queue.Push(ev)
+		return
+	}
+	e.release(ev)
+}
+
+// stopMidWindow handles Engine.Stop during a window commit. Events whose
+// callbacks already ran on workers have logically happened — their
+// effects are applied (in window order) so no callback is ever executed
+// twice or lost; events that have not fired are re-queued live, and
+// tombstones are dropped (the terminal cancelled-event drain: a stopped
+// run must leave Pending counting live events only).
 func (e *Engine) stopMidWindow() error {
-	for _, ev := range e.win[e.winPos:] {
+	for i, ev := range e.win[e.winPos:] {
 		if ev.cancelled {
 			e.release(ev)
+			continue
+		}
+		if m := &e.winMeta[e.winPos+i]; m.par {
+			e.commitLocal(ev, m)
 			continue
 		}
 		ev.queue = &e.queue

@@ -30,6 +30,23 @@ func NewAffineTicker(engine *Engine, start, period float64, name string, keys []
 	return newTicker(engine, start, period, name, keys, fn)
 }
 
+// NewLocalTicker is NewAffineTicker for a callback whose entire effect —
+// state integration AND publishing — stays within the shard owning the
+// given keys (per-node examon samplers, dtm governor steps). Local ticks
+// execute fully on shard workers during a window's parallel phase; the
+// callback receives the executing Proc so it can buffer serial-domain
+// effects (broker publishes, log lines) with Proc.Defer, which replay at
+// the tick's exact serial position. Under a serial engine (shards<=1) the
+// Proc is the engine's direct context and behaviour is identical to
+// NewAffineTicker.
+func NewLocalTicker(engine *Engine, start, period float64, name string, keys []int, fn func(p *Proc, now float64)) (*Ticker, error) {
+	h, err := engine.ScheduleEveryLocal(start, period, name, keys, func(p *Proc) { fn(p, p.Now()) })
+	if err != nil {
+		return nil, err
+	}
+	return &Ticker{h: h}, nil
+}
+
 func newTicker(engine *Engine, start, period float64, name string, keys []int, fn func(now float64)) (*Ticker, error) {
 	tick := func(e *Engine) { fn(e.Now()) }
 	var h Handle

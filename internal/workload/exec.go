@@ -64,7 +64,16 @@ type Execution struct {
 	// closure (phase cycles are the second-densest event source after
 	// telemetry ticks).
 	transName string
-	transFn   func(*sim.Engine)
+	transFn   func(*sim.Engine) // keyless path: plain barrier transitions
+	localFn   func(*sim.Proc)   // keyed path: shard-local transitions
+}
+
+// localScheduler is the slice of the engine API a transition needs to
+// schedule its successor: the Engine itself at Start time, the executing
+// Proc from within a local transition callback (so the reschedule joins
+// the shard's effect buffer instead of touching the serial queue).
+type localScheduler interface {
+	ScheduleAfterLocal(delay float64, name string, keys []int, fn func(*sim.Proc)) (sim.Handle, error)
 }
 
 // Start installs the model's first phase on the hosts and schedules the
@@ -107,28 +116,39 @@ func Start(engine *sim.Engine, ops NodeOps, m *Model, hosts []string, opts ExecO
 		return ex, nil
 	}
 	ex.transName = "workload.phase(" + m.Name + ")"
-	ex.transFn = func(*sim.Engine) {
-		ex.next = sim.Handle{}
-		_ = ex.install((ex.phase+1)%len(ex.model.Phases), false)
+	if ex.keys != nil {
+		ex.localFn = func(p *sim.Proc) {
+			ex.next = sim.Handle{}
+			_ = ex.install(p, (ex.phase+1)%len(ex.model.Phases), false)
+		}
+	} else {
+		ex.transFn = func(*sim.Engine) {
+			ex.next = sim.Handle{}
+			_ = ex.install(engine, (ex.phase+1)%len(ex.model.Phases), false)
+		}
 	}
-	if err := ex.install(0, true); err != nil {
+	if err := ex.install(engine, 0, true); err != nil {
 		return nil, err
 	}
 	return ex, nil
 }
 
-// install applies phase i and schedules the next transition. The first
+// install applies phase i and schedules the next transition through sched
+// (the engine at Start, the executing Proc inside a transition). The first
 // installation propagates errors; later ones best-effort them away.
-func (ex *Execution) install(i int, first bool) error {
+func (ex *Execution) install(sched localScheduler, i int, first bool) error {
 	ex.phase = i
 	p := ex.model.Phases[i]
 	err := ex.ops.RunWorkloadOn(ex.hosts, ex.model.Name+"/"+p.Name, p.Activity, ex.model.MemBytes)
 	if first && err != nil {
 		return err
 	}
-	// A phase transition only re-drives the nodes of its own allocation,
-	// so with shard keys in hand it is affine: a sharded engine prefetches
-	// the allocation's physics instead of closing the window.
+	// A phase transition only re-drives the nodes of its own allocation, so
+	// with shard keys in hand it is LOCAL: its callback mutates only the
+	// allocation's node state and reschedules itself, which a sharded engine
+	// executes entirely on the owning shard's worker when the allocation
+	// maps to one shard (the partitioner demotes multi-shard allocations to
+	// the serial loop — slower, never less correct).
 	dur := p.Seconds
 	if ex.opts.SlowFactor > 1 {
 		dur *= ex.opts.SlowFactor
@@ -136,7 +156,7 @@ func (ex *Execution) install(i int, first bool) error {
 	var ev sim.Handle
 	var serr error
 	if ex.keys != nil {
-		ev, serr = ex.engine.ScheduleAfterAffine(dur, ex.transName, ex.keys, ex.transFn)
+		ev, serr = sched.ScheduleAfterLocal(dur, ex.transName, ex.keys, ex.localFn)
 	} else {
 		ev, serr = ex.engine.ScheduleAfter(dur, ex.transName, ex.transFn)
 	}
